@@ -1,0 +1,51 @@
+"""EXP-S4 — self-tuning support thresholds vs fixed ones.
+
+Paper (§1): "We added to Apriori as well the capability of automatically
+self-adjusting some of its configuration parameters to properly select
+meaningful itemsets depending on the anomaly being analyzed."
+
+Expected shape: any fixed relative threshold is wrong somewhere in the
+intensity sweep (too many or too few itemsets); the self-tuned search
+stays inside the target band everywhere.
+"""
+
+from conftest import bench_scale, record_result
+from repro.eval.ablations import run_selftuning_ablation
+from repro.mining.extended import ExtendedAprioriConfig
+
+
+def test_selftuning(benchmark):
+    scale = bench_scale()
+    sweep = tuple(
+        max(100, int(n * scale))
+        for n in (200, 1_000, 5_000, 25_000, 100_000)
+    )
+    fixed = (0.01, 0.05, 0.20)
+
+    rows_data = benchmark.pedantic(
+        run_selftuning_ablation,
+        kwargs={"intensity_sweep": sweep, "fixed_shares": fixed, "seed": 17},
+        rounds=1,
+        iterations=1,
+    )
+
+    band = (
+        ExtendedAprioriConfig().target_min_itemsets,
+        ExtendedAprioriConfig().target_max_itemsets,
+    )
+    rows = []
+    for row in rows_data:
+        cells = [str(row.scan_flows)]
+        cells.extend(str(row.fixed_counts[s]) for s in fixed)
+        cells.append(f"{row.tuned_count} ({row.tuned_iterations} it)")
+        cells.append("yes" if row.tuned_in_band else "NO")
+        rows.append(tuple(cells))
+    record_result(
+        benchmark,
+        "EXP-S4",
+        f"itemsets returned per threshold policy (target band {band})",
+        rows,
+        ("scan flows", "fixed 1%", "fixed 5%", "fixed 20%", "self-tuned",
+         "in band"),
+    )
+    assert all(row.tuned_in_band for row in rows_data)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The GEANT NOC workflow: Figure 1, end to end.
+
+Recreates the deployment the demo describes — a PCA/entropy detector
+("NetReflex") watches 1/100-sampled NetFlow from an 18-PoP backbone and
+feeds an alarm database; the operator triages each alarm through the
+extraction system: itemset table, raw-flow drill-down, validation
+verdict.
+
+The injected incident mirrors the paper's Table 1: a port scan the
+detector flags, plus a *second* scanner and two simultaneous port-80
+DDoS against the same target that only extraction reveals.
+
+Run:  python examples/geant_noc_workflow.py
+"""
+
+from repro.detect import NetReflexDetector
+from repro.flows import ip_to_int
+from repro.synth import (
+    BackgroundConfig,
+    PortScan,
+    Scenario,
+    SynFlood,
+    Topology,
+)
+from repro.system import (
+    ExtractionSystem,
+    alarm_queue_view,
+    flow_drilldown_view,
+    session_view,
+)
+
+
+def main() -> None:
+    topology = Topology()
+    background = BackgroundConfig(flows_per_second=30.0)
+
+    # -- a clean training day for the detector ---------------------------
+    training = Scenario(
+        topology=topology, background=background, bin_count=12
+    ).build(seed=100).trace
+
+    # -- the incident: Table 1's cast against one victim ------------------
+    scenario = Scenario(
+        topology=topology, background=background, bin_count=8
+    )
+    victim = topology.host_address(topology.pop_by_name("London"), 3)
+    scenario.add(
+        PortScan("scan-1", ip_to_int("203.191.64.165"), victim,
+                 flow_count=30_000, src_port=55548), 5)
+    scenario.add(
+        PortScan("scan-2", ip_to_int("198.51.100.77"), victim,
+                 flow_count=26_000, src_port=55548), 5)
+    scenario.add(
+        SynFlood("ddos-1", victim, 80, flow_count=3_700,
+                 fixed_src_port=3072), 5)
+    scenario.add(
+        SynFlood("ddos-2", victim, 80, flow_count=3_700,
+                 fixed_src_port=1024), 5)
+    labeled = scenario.build(seed=101)
+    print(f"live trace: {len(labeled.trace)} flows from "
+          f"{topology.pop_count} PoPs")
+
+    # -- Figure 1: detector -> alarm DB -> extraction -> operator ---------
+    detector = NetReflexDetector()
+    detector.train(training)
+
+    system = ExtractionSystem.from_trace(labeled.trace)
+    system.run_detector(detector, labeled.trace)
+
+    print("\n== alarm queue ==")
+    print(alarm_queue_view(system.alarmdb, anonymize=True))
+
+    print("\n== triage ==")
+    for result in system.process_open_alarms():
+        if not result.verdict.useful:
+            continue
+        print(session_view(result.alarm, result.report, result.verdict,
+                           anonymize=True))
+
+        # Drill into the raw flows of the top itemset, as the GUI would.
+        top = result.report.itemsets[0]
+        flows = system.backend.itemset_flows(
+            top.itemset, result.alarm.start, result.alarm.end, limit=5
+        )
+        print("top itemset raw flows (heaviest 5):")
+        print(flow_drilldown_view(flows, limit=5, anonymize=True))
+
+    print("\n== queue after triage ==")
+    print(alarm_queue_view(system.alarmdb, anonymize=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: extract the flows behind one alarm in ~30 lines.
+
+Builds a small labelled trace (background + a port scan), synthesises
+the alarm a detector would raise, runs the extractor and prints the
+Table-1-style result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.eval import synthesize_alarm
+from repro.extraction import AnomalyExtractor, table_rows, validate_report
+from repro.flows import ip_to_int
+from repro.synth import BackgroundConfig, PortScan, Scenario, Topology
+from repro.system import render_table
+
+
+def main() -> None:
+    # 1. A labelled trace: backbone background + one port scan in bin 2.
+    topology = Topology()
+    scenario = Scenario(
+        topology=topology,
+        background=BackgroundConfig(flows_per_second=20.0),
+        bin_count=4,
+    )
+    target = topology.host_address(topology.pops[9], 3)
+    scanner = ip_to_int("203.0.113.99")
+    scenario.add(
+        PortScan("scan", scanner, target, flow_count=5000, src_port=55548),
+        start_bin=2,
+    )
+    labeled = scenario.build(seed=7)
+    print(f"trace: {len(labeled.trace)} flows over 4 five-minute bins")
+
+    # 2. The alarm a detector would raise (interval + meta-data hints).
+    alarm = synthesize_alarm("quickstart-alarm", labeled.truths)
+    print(alarm.describe())
+
+    # 3. Extraction: candidates -> extended Apriori -> filters -> report.
+    interval = labeled.trace.between(alarm.start, alarm.end)
+    baseline = labeled.trace.between(alarm.start - 600.0, alarm.start)
+    report = AnomalyExtractor().extract(alarm, interval, baseline)
+
+    # 4. The paper's Table-1 view plus the validation verdict.
+    print()
+    print(render_table(table_rows(report)))
+    print()
+    print(validate_report(report).summary())
+
+
+if __name__ == "__main__":
+    main()

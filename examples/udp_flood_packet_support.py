@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Why the extended Apriori counts packets: point-to-point UDP floods.
+
+The paper: "if an anomaly is not characterized by a significant volume
+of flows, Apriori cannot extract it. For instance, this occurs in the
+case of point to point UDP floods (involving a small number of flows
+but a large number of packets), which happen frequently in the GEANT
+network."
+
+This example injects exactly such a flood — a dozen flow records
+carrying three million packets — and runs extraction twice: with the
+classic flow-support-only Apriori of [1], and with the demo's
+dual-support extended Apriori. The flood is invisible to the first and
+front-page news to the second.
+
+Run:  python examples/udp_flood_packet_support.py
+"""
+
+from repro.eval import synthesize_alarm
+from repro.extraction import (
+    AnomalyExtractor,
+    ExtractionConfig,
+    table_rows,
+)
+from repro.flows import ip_to_int
+from repro.mining import ExtendedAprioriConfig
+from repro.synth import BackgroundConfig, Scenario, Topology, UdpFlood
+from repro.system import render_table
+
+
+def main() -> None:
+    topology = Topology()
+    scenario = Scenario(
+        topology=topology,
+        background=BackgroundConfig(flows_per_second=25.0),
+        bin_count=4,
+    )
+    victim = topology.host_address(topology.pop_by_name("Geneva"), 8)
+    scenario.add(
+        UdpFlood(
+            "flood",
+            source=ip_to_int("198.18.52.7"),
+            target=victim,
+            packets_total=3_000_000,
+            flow_count=12,
+        ),
+        start_bin=2,
+    )
+    labeled = scenario.build(seed=42)
+    truth = labeled.truth_by_id("flood")
+    print(
+        f"injected flood: {truth.flow_count} flows, "
+        f"{truth.packet_count} packets "
+        f"({truth.packet_count // truth.flow_count} packets/flow)"
+    )
+
+    alarm = synthesize_alarm("flood-alarm", labeled.truths)
+    interval = labeled.trace.between(alarm.start, alarm.end)
+    baseline = labeled.trace.between(alarm.start - 600.0, alarm.start)
+    print(f"alarm interval: {len(interval)} candidate flows\n")
+
+    configs = {
+        "classic Apriori (flow support only, as in [1])": ExtractionConfig(
+            mining=ExtendedAprioriConfig(
+                use_packet_support=False,
+                reduce="closed",
+                target_max_itemsets=40,
+            )
+        ),
+        "extended Apriori (dual flow+packet support, the demo system)":
+            ExtractionConfig(),
+    }
+    for name, config in configs.items():
+        report = AnomalyExtractor(config).extract(alarm, interval, baseline)
+        print(f"== {name} ==")
+        if report.itemsets:
+            print(render_table(table_rows(report)))
+        else:
+            print("  (no itemsets extracted - the flood is invisible)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Anomaly detectors feeding the extraction system's alarm database.
+
+Two detector families, matching the paper's two evaluations:
+
+* :class:`HistogramKLDetector` — the histogram/Kullback-Leibler detector
+  of Kind et al. [3] (SWITCH evaluation);
+* :class:`NetReflexDetector` — a PCA subspace detector over volume and
+  entropy features in the style of Lakhina et al. [4], standing in for
+  the commercial Guavus NetReflex system (GEANT evaluation).
+
+Both emit :class:`Alarm` objects: a time interval, a label guess and
+fine-grained — possibly incomplete — meta-data hints.
+"""
+
+from repro.detect.base import Alarm, Detector, MetadataItem
+from repro.detect.entropy import (
+    entropy_of_counts,
+    normalized_entropy,
+    sample_entropy,
+)
+from repro.detect.features import (
+    ENTROPY_COLUMNS,
+    VOLUME_COLUMNS,
+    BinFeatures,
+    FeatureMatrix,
+    build_feature_matrix,
+    compute_bin_features,
+)
+from repro.detect.histogram import HistogramDetectorConfig, HistogramKLDetector
+from repro.detect.kl import kl_contributions, kl_distance, smooth_distributions
+from repro.detect.netreflex import NetReflexConfig, NetReflexDetector
+from repro.detect.pca import PCAModel, fit_pca_model, q_statistic_threshold
+
+__all__ = [
+    "Alarm",
+    "Detector",
+    "MetadataItem",
+    "entropy_of_counts",
+    "normalized_entropy",
+    "sample_entropy",
+    "ENTROPY_COLUMNS",
+    "VOLUME_COLUMNS",
+    "BinFeatures",
+    "FeatureMatrix",
+    "build_feature_matrix",
+    "compute_bin_features",
+    "HistogramDetectorConfig",
+    "HistogramKLDetector",
+    "kl_contributions",
+    "kl_distance",
+    "smooth_distributions",
+    "NetReflexConfig",
+    "NetReflexDetector",
+    "PCAModel",
+    "fit_pca_model",
+    "q_statistic_threshold",
+]

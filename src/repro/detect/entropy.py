@@ -1,0 +1,58 @@
+"""Entropy measures over feature histograms.
+
+Lakhina et al. [4] — the method behind the paper's commercial detector —
+detect anomalies as shifts in the *sample entropy* of traffic feature
+distributions: scans disperse destination ports (entropy up) while DoS
+concentrates destinations (entropy down). These helpers compute sample
+and normalised entropy from the histogram counters produced by
+:func:`repro.flows.aggregate.feature_histogram`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Mapping
+
+from repro.errors import DetectorError
+
+__all__ = ["sample_entropy", "normalized_entropy", "entropy_of_counts"]
+
+
+def entropy_of_counts(counts: list[int] | tuple[int, ...]) -> float:
+    """Shannon entropy (bits) of a list of non-negative counts.
+
+    Zero counts contribute nothing; an empty or all-zero input has, by
+    convention, zero entropy.
+    """
+    total = 0
+    for count in counts:
+        if count < 0:
+            raise DetectorError(f"negative count {count!r}")
+        total += count
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        if count > 0:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def sample_entropy(histogram: Mapping[object, int] | Counter) -> float:
+    """Sample entropy ``H(X) = -sum p_i log2 p_i`` of a histogram."""
+    return entropy_of_counts(list(histogram.values()))
+
+
+def normalized_entropy(histogram: Mapping[object, int] | Counter) -> float:
+    """Entropy normalised to ``[0, 1]`` by ``log2`` of the support size.
+
+    Lakhina et al. use normalisation so features with different numbers
+    of observed values are comparable. A histogram with a single value
+    (no uncertainty) has normalised entropy 0.
+    """
+    support = sum(1 for count in histogram.values() if count > 0)
+    if support <= 1:
+        return 0.0
+    return sample_entropy(histogram) / math.log2(support)

@@ -1,0 +1,89 @@
+"""Kullback-Leibler distance between feature histograms.
+
+The histogram-based detector of Kind et al. [3] — used in the paper's
+first (SWITCH) evaluation — compares each time bin's feature histogram
+against a trained reference using the KL distance and alarms on
+outliers. Because observed histograms have disjoint supports, both
+distributions are smoothed over their support union before the distance
+is taken.
+
+:func:`kl_contributions` exposes the per-value terms of the sum, which
+the detector turns into alarm meta-data: the histogram bins contributing
+the largest positive share of the distance are the anomaly's suspects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Mapping
+
+from repro.errors import DetectorError
+
+__all__ = ["kl_distance", "kl_contributions", "smooth_distributions"]
+
+#: Additive smoothing mass assigned to unseen values.
+_EPSILON = 1e-9
+
+
+def smooth_distributions(
+    observed: Mapping[Hashable, int],
+    reference: Mapping[Hashable, int],
+) -> tuple[dict[Hashable, float], dict[Hashable, float]]:
+    """Normalise two histograms over their support union with smoothing.
+
+    Returns probability dictionaries over the same key set, each summing
+    to 1.0 (up to float error), with no zero entries.
+    """
+    support = set(observed) | set(reference)
+    if not support:
+        raise DetectorError("cannot smooth two empty histograms")
+
+    def normalise(histogram: Mapping[Hashable, int]) -> dict[Hashable, float]:
+        total = sum(histogram.values())
+        if total < 0:
+            raise DetectorError("histogram has negative total")
+        denom = total + _EPSILON * len(support)
+        if denom == 0:
+            # Empty histogram: uniform over the union support.
+            return {key: 1.0 / len(support) for key in support}
+        return {
+            key: (histogram.get(key, 0) + _EPSILON) / denom
+            for key in support
+        }
+
+    return normalise(observed), normalise(reference)
+
+
+def kl_distance(
+    observed: Mapping[Hashable, int] | Counter,
+    reference: Mapping[Hashable, int] | Counter,
+) -> float:
+    """``KL(observed || reference)`` in bits, after smoothing.
+
+    Non-negative; zero iff the smoothed distributions coincide.
+    """
+    p, q = smooth_distributions(observed, reference)
+    distance = 0.0
+    for key, p_value in p.items():
+        distance += p_value * math.log2(p_value / q[key])
+    # Clamp tiny negative float residue.
+    return max(0.0, distance)
+
+
+def kl_contributions(
+    observed: Mapping[Hashable, int] | Counter,
+    reference: Mapping[Hashable, int] | Counter,
+) -> list[tuple[Hashable, float]]:
+    """Per-value terms ``p log2(p/q)`` sorted by decreasing contribution.
+
+    Positive terms mark values over-represented in the observed bin
+    relative to the reference — the detector's meta-data candidates.
+    """
+    p, q = smooth_distributions(observed, reference)
+    terms = [
+        (key, p_value * math.log2(p_value / q[key]))
+        for key, p_value in p.items()
+    ]
+    terms.sort(key=lambda kv: -kv[1])
+    return terms

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing subsystems when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FlowError",
+    "AddressError",
+    "CodecError",
+    "FilterError",
+    "FilterSyntaxError",
+    "StoreError",
+    "SamplingError",
+    "SynthesisError",
+    "DetectorError",
+    "MiningError",
+    "ExtractionError",
+    "AlarmDatabaseError",
+    "ConfigurationError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FlowError(ReproError):
+    """Invalid flow record or flow-level operation."""
+
+
+class AddressError(FlowError):
+    """Malformed IPv4 address, prefix or address-plan operation."""
+
+
+class CodecError(FlowError):
+    """Failure encoding or decoding a binary/CSV flow representation."""
+
+
+class FilterError(ReproError):
+    """Failure while compiling or evaluating a flow filter expression."""
+
+
+class FilterSyntaxError(FilterError):
+    """The filter expression could not be tokenised or parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the source expression where the error was
+        detected, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class StoreError(ReproError):
+    """Invalid operation on the flow store (bad interval, missing bin...)."""
+
+
+class SamplingError(ReproError):
+    """Invalid sampling rate or renormalisation request."""
+
+
+class SynthesisError(ReproError):
+    """Invalid synthetic-traffic configuration."""
+
+
+class DetectorError(ReproError):
+    """Detector misconfiguration or an operation on an untrained detector."""
+
+
+class MiningError(ReproError):
+    """Invalid frequent-itemset-mining input or parameters."""
+
+
+class ExtractionError(ReproError):
+    """Anomaly-extraction pipeline failure."""
+
+
+class AlarmDatabaseError(ReproError):
+    """Alarm-database schema or query failure."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid system configuration value."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation-harness failure (unknown experiment, bad ground truth)."""

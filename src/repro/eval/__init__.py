@@ -1,0 +1,74 @@
+"""Evaluation harness: ground-truth matching, metrics and experiments.
+
+One module per experiment family (see DESIGN.md §4):
+
+* :mod:`repro.eval.table1` — EXP-T1, the paper's Table 1;
+* :mod:`repro.eval.campaigns` — EXP-S1 (GEANT, 40 alarms) and EXP-S2
+  (SWITCH, 31 cases);
+* :mod:`repro.eval.ablations` — EXP-S3/S4 and EXP-A2/A3.
+"""
+
+from repro.eval.ablations import (
+    CandidateRow,
+    DualSupportRow,
+    SamplingRow,
+    SelfTuningRow,
+    run_candidate_ablation,
+    run_dual_support_ablation,
+    run_sampling_ablation,
+    run_selftuning_ablation,
+)
+from repro.eval.campaigns import (
+    CampaignCase,
+    CampaignStats,
+    SwitchCase,
+    SwitchStats,
+    run_geant_campaign,
+    run_switch_campaign,
+)
+from repro.eval.groundtruth import (
+    TruthMatch,
+    flow_level_quality,
+    itemset_hits_signature,
+    itemset_hits_truth,
+    report_hits,
+)
+from repro.eval.harness import CaseResult, run_case, synthesize_alarm
+from repro.eval.metrics import PrecisionRecall, precision_recall
+from repro.eval.table1 import (
+    PAPER_TABLE1_FLOWS,
+    Table1Result,
+    Table1Row,
+    run_table1,
+)
+
+__all__ = [
+    "CandidateRow",
+    "DualSupportRow",
+    "SamplingRow",
+    "SelfTuningRow",
+    "run_candidate_ablation",
+    "run_dual_support_ablation",
+    "run_sampling_ablation",
+    "run_selftuning_ablation",
+    "CampaignCase",
+    "CampaignStats",
+    "SwitchCase",
+    "SwitchStats",
+    "run_geant_campaign",
+    "run_switch_campaign",
+    "TruthMatch",
+    "flow_level_quality",
+    "itemset_hits_signature",
+    "itemset_hits_truth",
+    "report_hits",
+    "CaseResult",
+    "run_case",
+    "synthesize_alarm",
+    "PrecisionRecall",
+    "precision_recall",
+    "PAPER_TABLE1_FLOWS",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+]

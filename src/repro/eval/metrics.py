@@ -1,0 +1,50 @@
+"""Precision/recall metrics for extraction evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+
+__all__ = ["PrecisionRecall", "precision_recall"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionRecall:
+    """Flow-level extraction quality against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of extracted flows that are truly anomalous."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly anomalous flows that were extracted."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def precision_recall(
+    extracted: set[int], truth: set[int]
+) -> PrecisionRecall:
+    """Compare two index sets (flow positions in the interval list)."""
+    if not isinstance(extracted, set) or not isinstance(truth, set):
+        raise EvaluationError("extracted and truth must be sets of indices")
+    tp = len(extracted & truth)
+    return PrecisionRecall(
+        true_positives=tp,
+        false_positives=len(extracted) - tp,
+        false_negatives=len(truth) - tp,
+    )

@@ -1,0 +1,65 @@
+"""Anomaly extraction — the paper's core contribution.
+
+From a detector alarm to a ranked, classified, Table-1-style summary of
+the anomalous flows: candidate pre-filtering from meta-data, extended
+Apriori mining, false-positive filtering, ranking, classification,
+union exploration and validation.
+"""
+
+from repro.extraction.candidates import (
+    CandidateSelection,
+    metadata_filter,
+    select_candidates,
+)
+from repro.extraction.classify import Classification, classify_itemset
+from repro.extraction.extractor import (
+    AnomalyExtractor,
+    ExtractedItemset,
+    ExtractionConfig,
+    ExtractionReport,
+    itemset_confirms_metadata,
+)
+from repro.extraction.filtering import (
+    BaselineStats,
+    baseline_filter,
+    baseline_shares,
+    dominance_filter,
+)
+from repro.extraction.ranking import ScoredItemset, rank_itemsets
+from repro.extraction.summarize import (
+    UnionFinding,
+    explore_unions,
+    format_count,
+    table_rows,
+)
+from repro.extraction.validate import (
+    Evidence,
+    ValidationVerdict,
+    validate_report,
+)
+
+__all__ = [
+    "CandidateSelection",
+    "metadata_filter",
+    "select_candidates",
+    "Classification",
+    "classify_itemset",
+    "AnomalyExtractor",
+    "ExtractedItemset",
+    "ExtractionConfig",
+    "ExtractionReport",
+    "itemset_confirms_metadata",
+    "BaselineStats",
+    "baseline_filter",
+    "baseline_shares",
+    "dominance_filter",
+    "ScoredItemset",
+    "rank_itemsets",
+    "UnionFinding",
+    "explore_unions",
+    "format_count",
+    "table_rows",
+    "Evidence",
+    "ValidationVerdict",
+    "validate_report",
+]

@@ -1,0 +1,87 @@
+"""Itemset scoring and top-k selection.
+
+After mining and filtering, surviving itemsets are ranked for the
+operator: the paper's GUI shows "the top-k itemsets with the highest
+support". Support here is the dual measure — an itemset's score is its
+best share across the flow and packet measures, optionally discounted
+by how normal that share is for the network (baseline excess), with
+specificity (item count) breaking ties so the most informative
+representative of equal-support itemsets sorts first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExtractionError
+from repro.extraction.filtering import BaselineStats
+from repro.mining.items import ItemsetSupport
+
+__all__ = ["ScoredItemset", "rank_itemsets"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredItemset:
+    """An itemset with its ranking score and share breakdown."""
+
+    support: ItemsetSupport
+    score: float
+    flow_share: float
+    packet_share: float
+    baseline_flow_share: float = 0.0
+    baseline_packet_share: float = 0.0
+
+    @property
+    def dominant_measure(self) -> str:
+        """Which support measure carries the itemset's score."""
+        flow_excess = self.flow_share - self.baseline_flow_share
+        packet_excess = self.packet_share - self.baseline_packet_share
+        return "flows" if flow_excess >= packet_excess else "packets"
+
+
+def rank_itemsets(
+    supports: list[ItemsetSupport],
+    total_flows: int,
+    total_packets: int,
+    baseline: dict[int, BaselineStats] | None = None,
+    top_k: int | None = None,
+) -> list[ScoredItemset]:
+    """Score and sort itemsets, best first.
+
+    The score of an itemset is ``max(flow excess, packet excess)`` where
+    excess is the share in the alarm window minus the share in the
+    baseline window (zero baseline when none is given). ``top_k``
+    truncates the result.
+    """
+    if total_flows < 0 or total_packets < 0:
+        raise ExtractionError("totals must be non-negative")
+    if top_k is not None and top_k < 1:
+        raise ExtractionError(f"top_k must be >= 1: {top_k!r}")
+    scored = []
+    for index, support in enumerate(supports):
+        flow_share = support.flow_share(total_flows)
+        packet_share = support.packet_share(total_packets)
+        base = baseline.get(index) if baseline else None
+        base_flow = base.flow_share if base else 0.0
+        base_packet = base.packet_share if base else 0.0
+        score = max(flow_share - base_flow, packet_share - base_packet)
+        scored.append(
+            ScoredItemset(
+                support=support,
+                score=score,
+                flow_share=flow_share,
+                packet_share=packet_share,
+                baseline_flow_share=base_flow,
+                baseline_packet_share=base_packet,
+            )
+        )
+    scored.sort(
+        key=lambda s: (
+            -s.score,
+            -len(s.support.itemset),
+            s.support.itemset.items,
+        )
+    )
+    if top_k is not None:
+        scored = scored[:top_k]
+    return scored

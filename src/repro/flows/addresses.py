@@ -1,0 +1,235 @@
+"""IPv4 address and prefix utilities.
+
+Flow records store IPv4 addresses as plain ``int`` for compactness and
+speed; this module provides the conversions and prefix arithmetic used
+throughout the library, plus the prefix-preserving anonymisation used when
+rendering operator reports (the paper anonymises GEANT addresses as
+``X.191.64.165`` / ``Y.13.137.129``).
+
+All functions validate their inputs and raise :class:`~repro.errors.AddressError`
+on malformed data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressError
+
+__all__ = [
+    "MAX_IPV4",
+    "ip_to_int",
+    "int_to_ip",
+    "is_valid_ip_int",
+    "Prefix",
+    "anonymize_ip",
+    "AddressPlan",
+]
+
+#: Largest representable IPv4 address (255.255.255.255).
+MAX_IPV4 = 0xFFFFFFFF
+
+_ANON_LETTERS = "XYZWVUTSRQPONMLKJIHGFEDCBA"
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad ``text`` into an integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format integer ``value`` as a dotted quad.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not is_valid_ip_int(value):
+        raise AddressError(f"not a valid IPv4 integer: {value!r}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def is_valid_ip_int(value: object) -> bool:
+    """Return True when ``value`` is an int within the IPv4 range."""
+    return isinstance(value, int) and 0 <= value <= MAX_IPV4
+
+
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An IPv4 CIDR prefix such as ``10.1.0.0/16``.
+
+    Instances are canonical: the network address is masked so that
+    ``Prefix.parse("10.1.2.3/16")`` equals ``Prefix.parse("10.1.0.0/16")``.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not is_valid_ip_int(self.network):
+            raise AddressError(f"bad network address: {self.network!r}")
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"bad prefix length: {self.length!r}")
+        masked = self.network & self.mask
+        if masked != self.network:
+            object.__setattr__(self, "network", masked)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (a bare address means ``/32``)."""
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise AddressError(f"bad prefix length in {text!r}")
+            return cls(ip_to_int(addr_text), int(len_text))
+        return cls(ip_to_int(text), 32)
+
+    @property
+    def mask(self) -> int:
+        """Netmask as an integer (``/16`` -> ``0xFFFF0000``)."""
+        if self.length == 0:
+            return 0
+        return (MAX_IPV4 << (32 - self.length)) & MAX_IPV4
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        """First (network) address."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Last (broadcast) address."""
+        return self.network | (~self.mask & MAX_IPV4)
+
+    def __contains__(self, address: int) -> bool:
+        if not is_valid_ip_int(address):
+            return False
+        return (address & self.mask) == self.network
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True when ``other`` is fully covered by this prefix."""
+        return other.length >= self.length and other.network in self
+
+    def address_at(self, offset: int) -> int:
+        """Return the ``offset``-th address inside the prefix."""
+        if not 0 <= offset < self.size:
+            raise AddressError(
+                f"offset {offset} outside prefix of size {self.size}"
+            )
+        return self.network + offset
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate over every address in the prefix (network included)."""
+        return iter(range(self.first, self.last + 1))
+
+    def random_address(self, rng: random.Random) -> int:
+        """Draw a uniform random address from the prefix."""
+        return self.network + rng.randrange(self.size)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Split into subnets of ``new_length`` bits."""
+        if new_length < self.length or new_length > 32:
+            raise AddressError(
+                f"cannot split /{self.length} into /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        for network in range(self.first, self.last + 1, step):
+            yield Prefix(network, new_length)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+def anonymize_ip(address: int, salt: int = 0) -> str:
+    """Render ``address`` in the paper's anonymised style (``X.191.64.165``).
+
+    The first octet is replaced by a letter chosen deterministically from
+    the octet value and ``salt``, so equal addresses always render equally
+    within a report while the real first octet is hidden.
+    """
+    if not is_valid_ip_int(address):
+        raise AddressError(f"not a valid IPv4 integer: {address!r}")
+    first = (address >> 24) & 0xFF
+    letter = _ANON_LETTERS[(first + salt) % len(_ANON_LETTERS)]
+    rest = ".".join(str((address >> shift) & 0xFF) for shift in (16, 8, 0))
+    return f"{letter}.{rest}"
+
+
+class AddressPlan:
+    """Deterministic allocation of prefixes to points of presence.
+
+    The synthetic GEANT-like topology needs a stable mapping from PoP
+    index to customer prefix so that generated traces are reproducible and
+    so detectors can aggregate per PoP-pair. The plan carves a parent
+    prefix into equal-length PoP prefixes.
+    """
+
+    def __init__(self, parent: Prefix, pop_count: int, pop_length: int = 16):
+        if pop_count <= 0:
+            raise AddressError("pop_count must be positive")
+        if pop_length <= parent.length:
+            raise AddressError(
+                f"pop prefix /{pop_length} must be longer than parent "
+                f"/{parent.length}"
+            )
+        available = 1 << (pop_length - parent.length)
+        if pop_count > available:
+            raise AddressError(
+                f"parent {parent} only fits {available} /{pop_length} "
+                f"prefixes; {pop_count} requested"
+            )
+        self.parent = parent
+        self.pop_count = pop_count
+        self.pop_length = pop_length
+        self._prefixes = []
+        for index, subnet in enumerate(parent.subnets(pop_length)):
+            if index >= pop_count:
+                break
+            self._prefixes.append(subnet)
+
+    def prefix_for(self, pop_index: int) -> Prefix:
+        """Prefix assigned to ``pop_index`` (0-based)."""
+        if not 0 <= pop_index < self.pop_count:
+            raise AddressError(
+                f"pop index {pop_index} outside 0..{self.pop_count - 1}"
+            )
+        return self._prefixes[pop_index]
+
+    def pop_of(self, address: int) -> int | None:
+        """PoP index owning ``address``, or ``None`` for external space."""
+        if address not in self.parent:
+            return None
+        offset = (address - self.parent.network) >> (32 - self.pop_length)
+        if offset >= self.pop_count:
+            return None
+        return offset
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self._prefixes)
+
+    def __len__(self) -> int:
+        return self.pop_count

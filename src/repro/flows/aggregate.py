@@ -1,0 +1,160 @@
+"""Flow aggregation utilities.
+
+These helpers implement the nfdump ``-s``/``-A`` style statistics the
+operator console shows and the feature distributions the detectors
+consume: per-feature value histograms, top-N rankings, and per-bin
+traffic matrices.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import FlowError
+from repro.flows.record import (
+    FLOW_FEATURES,
+    FlowFeature,
+    FlowRecord,
+    feature_value,
+)
+
+__all__ = [
+    "Weighting",
+    "WEIGHTINGS",
+    "feature_histogram",
+    "all_feature_histograms",
+    "top_n",
+    "TrafficMatrixCell",
+    "traffic_matrix",
+    "distinct_counts",
+]
+
+#: How a flow contributes to an aggregate: by flow count, packets or bytes.
+Weighting = Callable[[FlowRecord], int]
+
+WEIGHTINGS: Mapping[str, Weighting] = {
+    "flows": lambda flow: 1,
+    "packets": lambda flow: flow.packets,
+    "bytes": lambda flow: flow.bytes,
+}
+
+
+def _weighting(weight: str | Weighting) -> Weighting:
+    if callable(weight):
+        return weight
+    try:
+        return WEIGHTINGS[weight]
+    except KeyError as exc:
+        raise FlowError(
+            f"unknown weighting {weight!r}; expected one of "
+            f"{sorted(WEIGHTINGS)}"
+        ) from exc
+
+
+def feature_histogram(
+    flows: Iterable[FlowRecord],
+    feature: FlowFeature,
+    weight: str | Weighting = "flows",
+) -> Counter:
+    """Histogram of ``feature`` values weighted by ``weight``.
+
+    This is the primary input of the histogram/KL detector: e.g. the
+    distribution of destination ports in a 5-minute bin, in flows.
+    """
+    weigh = _weighting(weight)
+    histogram: Counter = Counter()
+    for flow in flows:
+        histogram[feature_value(flow, feature)] += weigh(flow)
+    return histogram
+
+
+def all_feature_histograms(
+    flows: Iterable[FlowRecord],
+    weight: str | Weighting = "flows",
+) -> dict[FlowFeature, Counter]:
+    """Histograms for all five flow features in a single pass."""
+    weigh = _weighting(weight)
+    histograms: dict[FlowFeature, Counter] = {
+        feature: Counter() for feature in FLOW_FEATURES
+    }
+    for flow in flows:
+        amount = weigh(flow)
+        histograms[FlowFeature.SRC_IP][flow.src_ip] += amount
+        histograms[FlowFeature.DST_IP][flow.dst_ip] += amount
+        histograms[FlowFeature.SRC_PORT][flow.src_port] += amount
+        histograms[FlowFeature.DST_PORT][flow.dst_port] += amount
+        histograms[FlowFeature.PROTO][flow.proto] += amount
+    return histograms
+
+
+def top_n(
+    flows: Iterable[FlowRecord],
+    feature: FlowFeature,
+    n: int = 10,
+    weight: str | Weighting = "flows",
+) -> list[tuple[int, int]]:
+    """Top-``n`` feature values by aggregate weight (nfdump ``-s``)."""
+    if n <= 0:
+        raise FlowError(f"n must be positive: {n!r}")
+    histogram = feature_histogram(flows, feature, weight)
+    return sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficMatrixCell:
+    """Counters for one origin→destination PoP pair."""
+
+    flows: int
+    packets: int
+    bytes: int
+
+
+def traffic_matrix(
+    flows: Iterable[FlowRecord],
+    pop_of: Callable[[int], int | None],
+    pop_count: int,
+) -> dict[tuple[int, int], TrafficMatrixCell]:
+    """Origin-destination traffic matrix over PoPs.
+
+    ``pop_of`` maps an IP to its owning PoP (or ``None`` for external
+    space, mapped to the virtual PoP index ``pop_count`` so that transit
+    traffic is still accounted). The PCA detector consumes this matrix
+    layout per time bin.
+    """
+    external = pop_count
+    totals: dict[tuple[int, int], list[int]] = {}
+    for flow in flows:
+        src_pop = pop_of(flow.src_ip)
+        dst_pop = pop_of(flow.dst_ip)
+        src = external if src_pop is None else src_pop
+        dst = external if dst_pop is None else dst_pop
+        cell = totals.setdefault((src, dst), [0, 0, 0])
+        cell[0] += 1
+        cell[1] += flow.packets
+        cell[2] += flow.bytes
+    return {
+        pair: TrafficMatrixCell(flows=c[0], packets=c[1], bytes=c[2])
+        for pair, c in totals.items()
+    }
+
+
+def distinct_counts(
+    flows: Iterable[FlowRecord] | Sequence[FlowRecord],
+) -> dict[FlowFeature, int]:
+    """Number of distinct values per feature (scan detection signal).
+
+    Port scans explode distinct destination ports; network scans explode
+    distinct destination IPs. The classifier uses these cardinalities.
+    """
+    seen: dict[FlowFeature, set[int]] = {
+        feature: set() for feature in FLOW_FEATURES
+    }
+    for flow in flows:
+        seen[FlowFeature.SRC_IP].add(flow.src_ip)
+        seen[FlowFeature.DST_IP].add(flow.dst_ip)
+        seen[FlowFeature.SRC_PORT].add(flow.src_port)
+        seen[FlowFeature.DST_PORT].add(flow.dst_port)
+        seen[FlowFeature.PROTO].add(flow.proto)
+    return {feature: len(values) for feature, values in seen.items()}

@@ -1,0 +1,185 @@
+"""Trace readers and writers.
+
+Two interchange formats:
+
+* **CSV** — human-inspectable, one flow per row, with a fixed header.
+  Used by the examples and for exporting extraction evidence.
+* **Binary** — a container of NetFlow v5 export packets with a small
+  file header carrying the router boot time, so absolute timestamps
+  survive the v5 sys-uptime encoding. This is the on-disk shape a real
+  NfDump spool directory would hold.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import CodecError
+from repro.flows.netflow_v5 import decode_packet, encode_stream
+from repro.flows.record import FlowRecord
+from repro.flows.addresses import int_to_ip, ip_to_int
+
+__all__ = [
+    "CSV_FIELDS",
+    "write_csv",
+    "read_csv",
+    "write_binary",
+    "read_binary",
+]
+
+CSV_FIELDS = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "proto",
+    "packets",
+    "bytes",
+    "start",
+    "end",
+    "tcp_flags",
+    "router",
+    "sampling_rate",
+)
+
+_BINARY_MAGIC = b"RPV5"
+_FILE_HEADER = struct.Struct("!4sdI")  # magic, boot_time, packet_count
+_PACKET_LEN = struct.Struct("!I")
+
+
+def write_csv(flows: Iterable[FlowRecord], destination: str | Path | TextIO) -> int:
+    """Write flows as CSV; returns the number of rows written."""
+    own_handle = isinstance(destination, (str, Path))
+    handle: TextIO
+    if own_handle:
+        handle = open(destination, "w", newline="")
+    else:
+        handle = destination
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        count = 0
+        for flow in flows:
+            writer.writerow(
+                (
+                    int_to_ip(flow.src_ip),
+                    int_to_ip(flow.dst_ip),
+                    flow.src_port,
+                    flow.dst_port,
+                    flow.proto,
+                    flow.packets,
+                    flow.bytes,
+                    repr(flow.start),
+                    repr(flow.end),
+                    flow.tcp_flags,
+                    flow.router,
+                    flow.sampling_rate,
+                )
+            )
+            count += 1
+        return count
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def read_csv(source: str | Path | TextIO) -> Iterator[FlowRecord]:
+    """Read flows from CSV written by :func:`write_csv`."""
+    own_handle = isinstance(source, (str, Path))
+    handle: TextIO
+    if own_handle:
+        handle = open(source, "r", newline="")
+    else:
+        handle = source
+    try:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return
+        if tuple(header) != CSV_FIELDS:
+            raise CodecError(
+                f"unexpected CSV header {header!r}; expected {CSV_FIELDS!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(CSV_FIELDS):
+                raise CodecError(
+                    f"row {line_number}: expected {len(CSV_FIELDS)} fields, "
+                    f"got {len(row)}"
+                )
+            try:
+                yield FlowRecord(
+                    src_ip=ip_to_int(row[0]),
+                    dst_ip=ip_to_int(row[1]),
+                    src_port=int(row[2]),
+                    dst_port=int(row[3]),
+                    proto=int(row[4]),
+                    packets=int(row[5]),
+                    bytes=int(row[6]),
+                    start=float(row[7]),
+                    end=float(row[8]),
+                    tcp_flags=int(row[9]),
+                    router=int(row[10]),
+                    sampling_rate=int(row[11]),
+                )
+            except (ValueError, CodecError) as exc:
+                raise CodecError(f"row {line_number}: {exc}") from exc
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def write_binary(
+    flows: Iterable[FlowRecord],
+    path: str | Path,
+    boot_time: float = 0.0,
+    sampling_rate: int = 1,
+) -> int:
+    """Write flows as a container of NetFlow v5 packets.
+
+    Returns the number of export packets written. Flow timestamps must
+    not precede ``boot_time`` (the v5 sys-uptime anchor).
+    """
+    packets = list(
+        encode_stream(flows, boot_time=boot_time, sampling_rate=sampling_rate)
+    )
+    with open(path, "wb") as handle:
+        handle.write(_FILE_HEADER.pack(_BINARY_MAGIC, boot_time, len(packets)))
+        for packet in packets:
+            handle.write(_PACKET_LEN.pack(len(packet)))
+            handle.write(packet)
+    return len(packets)
+
+
+def read_binary(path: str | Path) -> Iterator[FlowRecord]:
+    """Read flows from a file written by :func:`write_binary`."""
+    with open(path, "rb") as handle:
+        header = handle.read(_FILE_HEADER.size)
+        if len(header) < _FILE_HEADER.size:
+            raise CodecError(f"{path}: truncated file header")
+        magic, boot_time, packet_count = _FILE_HEADER.unpack(header)
+        if magic != _BINARY_MAGIC:
+            raise CodecError(f"{path}: bad magic {magic!r}")
+        for index in range(packet_count):
+            length_raw = handle.read(_PACKET_LEN.size)
+            if len(length_raw) < _PACKET_LEN.size:
+                raise CodecError(f"{path}: truncated packet {index} length")
+            (length,) = _PACKET_LEN.unpack(length_raw)
+            data = handle.read(length)
+            if len(data) < length:
+                raise CodecError(f"{path}: truncated packet {index} body")
+            _, flows = decode_packet(data, boot_time=boot_time)
+            yield from flows
+
+
+def csv_roundtrip(flows: Iterable[FlowRecord]) -> list[FlowRecord]:
+    """Serialise to CSV text and parse back (testing helper)."""
+    buffer = io.StringIO()
+    write_csv(flows, buffer)
+    buffer.seek(0)
+    return list(read_csv(buffer))

@@ -1,0 +1,264 @@
+"""A time-partitioned flow store modelled on NfDump.
+
+NfDump rotates capture files every few minutes and answers queries of the
+form "all flows in [t0, t1) matching <filter>". :class:`FlowStore`
+reproduces that interface in-process: flows are partitioned into
+fixed-width time slices (default 5 minutes, like the GEANT deployment),
+each slice indexed by start time, and queries combine a time range with
+an optional nfdump-style filter expression.
+
+The store is the "NfDump backend" box of the paper's Figure 1; the
+extraction engine and the operator console only talk to it through
+:meth:`FlowStore.query` and :meth:`FlowStore.top_talkers`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.flows.filter import FilterNode, compile_filter
+from repro.flows.record import FlowRecord
+from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
+
+__all__ = ["SliceInfo", "FlowStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class SliceInfo:
+    """Metadata describing one rotation slice (one "capture file")."""
+
+    index: int
+    start: float
+    end: float
+    flows: int
+    packets: int
+    bytes: int
+
+
+class FlowStore:
+    """In-process, time-partitioned flow archive with nfdump-style queries.
+
+    Parameters
+    ----------
+    slice_seconds:
+        Rotation interval; flows are partitioned by start time into
+        ``[origin + k*slice_seconds, origin + (k+1)*slice_seconds)``.
+    origin:
+        Timestamp of the left edge of slice 0. Defaults to the first
+        inserted flow's start time floored to the slice width.
+    """
+
+    def __init__(
+        self,
+        slice_seconds: float = DEFAULT_BIN_SECONDS,
+        origin: float | None = None,
+    ) -> None:
+        if slice_seconds <= 0:
+            raise StoreError(
+                f"slice_seconds must be positive: {slice_seconds!r}"
+            )
+        self.slice_seconds = float(slice_seconds)
+        self._origin = origin
+        self._slices: dict[int, list[FlowRecord]] = {}
+        self._total_flows = 0
+
+    # -- insertion -------------------------------------------------------
+
+    def insert(self, flow: FlowRecord) -> None:
+        """Insert a single flow record."""
+        if self._origin is None:
+            self._origin = math.floor(
+                flow.start / self.slice_seconds
+            ) * self.slice_seconds
+        index = self._slice_index(flow.start)
+        self._slices.setdefault(index, []).append(flow)
+        self._total_flows += 1
+
+    def insert_many(self, flows: Iterable[FlowRecord]) -> int:
+        """Insert many flows; returns the number inserted."""
+        count = 0
+        for flow in flows:
+            self.insert(flow)
+            count += 1
+        return count
+
+    @classmethod
+    def from_trace(
+        cls, trace: FlowTrace, slice_seconds: float | None = None
+    ) -> "FlowStore":
+        """Build a store holding all flows of ``trace``."""
+        store = cls(
+            slice_seconds=slice_seconds or trace.bin_seconds,
+            origin=trace.origin,
+        )
+        store.insert_many(trace)
+        return store
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def origin(self) -> float:
+        """Left edge of slice 0 (0.0 until the first insert fixes it)."""
+        return self._origin if self._origin is not None else 0.0
+
+    def _slice_index(self, timestamp: float) -> int:
+        return int(math.floor((timestamp - self.origin) / self.slice_seconds))
+
+    def slice_interval(self, index: int) -> tuple[float, float]:
+        """``[start, end)`` of slice ``index``."""
+        start = self.origin + index * self.slice_seconds
+        return (start, start + self.slice_seconds)
+
+    def slices(self) -> list[SliceInfo]:
+        """Metadata for every populated slice, ordered by time."""
+        infos = []
+        for index in sorted(self._slices):
+            flows = self._slices[index]
+            start, end = self.slice_interval(index)
+            infos.append(
+                SliceInfo(
+                    index=index,
+                    start=start,
+                    end=end,
+                    flows=len(flows),
+                    packets=sum(f.packets for f in flows),
+                    bytes=sum(f.bytes for f in flows),
+                )
+            )
+        return infos
+
+    def __len__(self) -> int:
+        return self._total_flows
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> list[FlowRecord]:
+        """All flows starting in ``[start, end)`` matching ``flow_filter``.
+
+        This is the nfdump equivalent of
+        ``nfdump -R <files covering range> '<filter>'``.
+        """
+        if end < start:
+            raise StoreError(f"inverted interval [{start}, {end})")
+        predicate: Callable[[FlowRecord], bool] | None = None
+        if flow_filter is not None:
+            predicate = compile_filter(flow_filter)
+        results = []
+        for flow in self._scan(start, end):
+            if predicate is None or predicate(flow):
+                results.append(flow)
+        results.sort(key=lambda f: (f.start, f.key))
+        return results
+
+    def _scan(self, start: float, end: float) -> Iterator[FlowRecord]:
+        if self._origin is None:
+            return
+        first = self._slice_index(start)
+        last = self._slice_index(end)
+        if (self.origin + last * self.slice_seconds) == end:
+            last -= 1  # half-open interval: skip the slice starting at end
+        for index in range(first, last + 1):
+            for flow in self._slices.get(index, ()):
+                if start <= flow.start < end:
+                    yield flow
+
+    def count(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> TraceStats:
+        """Aggregate counters over a query without materialising flows."""
+        predicate: Callable[[FlowRecord], bool] | None = None
+        if flow_filter is not None:
+            predicate = compile_filter(flow_filter)
+        flows = packets = bytes_ = 0
+        first = math.inf
+        last = -math.inf
+        for flow in self._scan(start, end):
+            if predicate is not None and not predicate(flow):
+                continue
+            flows += 1
+            packets += flow.packets
+            bytes_ += flow.bytes
+            first = min(first, flow.start)
+            last = max(last, flow.end)
+        if flows == 0:
+            first = last = start
+        return TraceStats(
+            flows=flows, packets=packets, bytes=bytes_, start=first, end=last
+        )
+
+    def top_talkers(
+        self,
+        start: float,
+        end: float,
+        key: Callable[[FlowRecord], object],
+        n: int = 10,
+        weight: Callable[[FlowRecord], int] | None = None,
+        flow_filter: str | FilterNode | None = None,
+    ) -> list[tuple[object, int]]:
+        """Top-``n`` aggregation, nfdump's ``-s`` statistics mode.
+
+        ``key`` extracts the aggregation key from a flow (e.g.
+        ``lambda f: f.src_ip``); ``weight`` the contribution (defaults to
+        flow count).
+        """
+        if n <= 0:
+            raise StoreError(f"n must be positive: {n!r}")
+        predicate: Callable[[FlowRecord], bool] | None = None
+        if flow_filter is not None:
+            predicate = compile_filter(flow_filter)
+        totals: dict[object, int] = {}
+        for flow in self._scan(start, end):
+            if predicate is not None and not predicate(flow):
+                continue
+            amount = 1 if weight is None else weight(flow)
+            group = key(flow)
+            totals[group] = totals.get(group, 0) + amount
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked[:n]
+
+    def to_trace(
+        self,
+        start: float | None = None,
+        end: float | None = None,
+        bin_seconds: float | None = None,
+    ) -> FlowTrace:
+        """Materialise (a window of) the store as a :class:`FlowTrace`."""
+        if not self._slices:
+            return FlowTrace(
+                bin_seconds=bin_seconds or self.slice_seconds,
+                origin=self.origin,
+            )
+        indices = sorted(self._slices)
+        lo = self.slice_interval(indices[0])[0] if start is None else start
+        hi = self.slice_interval(indices[-1])[1] if end is None else end
+        return FlowTrace(
+            self.query(lo, hi),
+            bin_seconds=bin_seconds or self.slice_seconds,
+            origin=self.origin,
+        )
+
+    # -- retention ---------------------------------------------------------
+
+    def expire_before(self, timestamp: float) -> int:
+        """Drop whole slices ending at or before ``timestamp``.
+
+        Mirrors NfDump's disk-budget expiry. Returns the number of flow
+        records removed.
+        """
+        removed = 0
+        for index in list(self._slices):
+            if self.slice_interval(index)[1] <= timestamp:
+                removed += len(self._slices.pop(index))
+        self._total_flows -= removed
+        return removed

@@ -1,0 +1,46 @@
+"""Frequent itemset mining over flow transactions — from scratch.
+
+Three interchangeable engines (Apriori, FP-Growth, Eclat) with dual
+flow/packet support counting, closed/maximal reduction, association
+rules, and the paper's **extended Apriori** envelope (dual thresholds +
+self-tuning).
+"""
+
+from repro.mining.apriori import mine_apriori
+from repro.mining.eclat import mine_eclat
+from repro.mining.extended import (
+    ENGINES,
+    ExtendedApriori,
+    ExtendedAprioriConfig,
+    MiningOutcome,
+)
+from repro.mining.fpgrowth import mine_fpgrowth
+from repro.mining.items import (
+    Item,
+    Itemset,
+    ItemsetSupport,
+    itemset_from_signature,
+)
+from repro.mining.maximal import closed_itemsets, maximal_itemsets
+from repro.mining.rules import AssociationRule, derive_rules
+from repro.mining.transactions import Transaction, TransactionSet
+
+__all__ = [
+    "mine_apriori",
+    "mine_eclat",
+    "mine_fpgrowth",
+    "ENGINES",
+    "ExtendedApriori",
+    "ExtendedAprioriConfig",
+    "MiningOutcome",
+    "Item",
+    "Itemset",
+    "ItemsetSupport",
+    "itemset_from_signature",
+    "closed_itemsets",
+    "maximal_itemsets",
+    "AssociationRule",
+    "derive_rules",
+    "Transaction",
+    "TransactionSet",
+]

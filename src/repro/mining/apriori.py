@@ -1,0 +1,190 @@
+"""The Apriori frequent-itemset algorithm with dual (flow/packet) support.
+
+This is the algorithm of the paper: level-wise candidate generation over
+flow transactions, counting every itemset's support simultaneously in
+
+* **flows** — the number of transactions containing the itemset, and
+* **packets** — the summed packet counts of those transactions,
+
+so that an itemset is *frequent* when it passes **either** threshold
+(the extension of [5]; pass ``min_packets=None`` to recover the classic
+flow-support-only Apriori of [1]). Both measures are anti-monotone, and
+so is their disjunction, so the Apriori pruning of candidate supersets
+remains sound.
+
+Flow transactions contain at most one item per feature, which the
+candidate join exploits: a candidate combining two values of the same
+feature can never occur and is pruned immediately.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import MiningError
+from repro.mining.items import ItemsetSupport
+from repro.mining.transactions import TransactionSet
+
+__all__ = ["mine_apriori"]
+
+
+def _check_thresholds(
+    min_flows: int | None, min_packets: int | None
+) -> None:
+    if min_flows is None and min_packets is None:
+        raise MiningError(
+            "at least one of min_flows/min_packets must be set"
+        )
+    if min_flows is not None and min_flows < 1:
+        raise MiningError(f"min_flows must be >= 1: {min_flows!r}")
+    if min_packets is not None and min_packets < 1:
+        raise MiningError(f"min_packets must be >= 1: {min_packets!r}")
+
+
+def _is_frequent(
+    counts: list[int], min_flows: int | None, min_packets: int | None
+) -> bool:
+    if min_flows is not None and counts[0] >= min_flows:
+        return True
+    if min_packets is not None and counts[1] >= min_packets:
+        return True
+    return False
+
+
+def _generate_candidates(
+    frequent: list[tuple[int, ...]],
+    frequent_set: set[tuple[int, ...]],
+    transactions: TransactionSet,
+) -> list[tuple[int, ...]]:
+    """Join ``L_{k-1}`` with itself, with both Apriori pruning rules.
+
+    ``frequent`` must be sorted; two (k-1)-itemsets sharing their first
+    k-2 items join into a k-candidate. Candidates with two items of one
+    feature, or with an infrequent (k-1)-subset, are dropped.
+    """
+    candidates = []
+    n = len(frequent)
+    for i in range(n):
+        base = frequent[i]
+        prefix = base[:-1]
+        for j in range(i + 1, n):
+            other = frequent[j]
+            if other[:-1] != prefix:
+                break  # sorted order: no further joins share the prefix
+            last_a, last_b = base[-1], other[-1]
+            if transactions.feature_of(last_a) is \
+                    transactions.feature_of(last_b):
+                continue
+            candidate = base + (last_b,)
+            # Subset pruning: every (k-1)-subset must be frequent. The
+            # two generating subsets are; check the rest.
+            if all(
+                candidate[:m] + candidate[m + 1 :] in frequent_set
+                for m in range(len(candidate) - 2)
+            ):
+                candidates.append(candidate)
+    return candidates
+
+
+def mine_apriori(
+    transactions: TransactionSet,
+    min_flows: int | None,
+    min_packets: int | None = None,
+    max_size: int | None = None,
+) -> list[ItemsetSupport]:
+    """Mine all frequent itemsets of ``transactions``.
+
+    Parameters
+    ----------
+    min_flows:
+        Absolute flow-support threshold, or ``None`` to disable the
+        flow measure.
+    min_packets:
+        Absolute packet-support threshold, or ``None`` to disable the
+        packet measure (classic Apriori).
+    max_size:
+        Optional cap on itemset length (defaults to the number of
+        features).
+
+    Returns
+    -------
+    list[ItemsetSupport]
+        All frequent itemsets with exact flow, packet and byte supports,
+        sorted by decreasing flow support, then packet support.
+    """
+    _check_thresholds(min_flows, min_packets)
+    if max_size is None:
+        max_size = len(transactions.features)
+    if max_size < 1:
+        raise MiningError(f"max_size must be >= 1: {max_size!r}")
+    if not transactions:
+        return []
+
+    # L1: single scan over all transactions.
+    item_counts: dict[int, list[int]] = {}
+    for transaction in transactions:
+        for item_id in transaction.item_ids:
+            counts = item_counts.get(item_id)
+            if counts is None:
+                counts = [0, 0, 0]
+                item_counts[item_id] = counts
+            counts[0] += 1
+            counts[1] += transaction.packets
+            counts[2] += transaction.bytes
+
+    results: list[ItemsetSupport] = []
+    frequent: list[tuple[int, ...]] = []
+    for item_id in sorted(item_counts):
+        counts = item_counts[item_id]
+        if _is_frequent(counts, min_flows, min_packets):
+            frequent.append((item_id,))
+            results.append(
+                ItemsetSupport(
+                    itemset=transactions.decode((item_id,)),
+                    flows=counts[0],
+                    packets=counts[1],
+                    bytes=counts[2],
+                )
+            )
+
+    size = 2
+    frequent_set = set(frequent)
+    while frequent and size <= max_size:
+        candidates = _generate_candidates(
+            frequent, frequent_set, transactions
+        )
+        if not candidates:
+            break
+        counting: dict[tuple[int, ...], list[int]] = {
+            candidate: [0, 0, 0] for candidate in candidates
+        }
+        for transaction in transactions:
+            ids = transaction.item_ids
+            if len(ids) < size:
+                continue
+            for subset in combinations(ids, size):
+                counts = counting.get(subset)
+                if counts is not None:
+                    counts[0] += 1
+                    counts[1] += transaction.packets
+                    counts[2] += transaction.bytes
+
+        frequent = []
+        for candidate in candidates:
+            counts = counting[candidate]
+            if _is_frequent(counts, min_flows, min_packets):
+                frequent.append(candidate)
+                results.append(
+                    ItemsetSupport(
+                        itemset=transactions.decode(candidate),
+                        flows=counts[0],
+                        packets=counts[1],
+                        bytes=counts[2],
+                    )
+                )
+        frequent.sort()
+        frequent_set = set(frequent)
+        size += 1
+
+    results.sort(key=lambda s: (-s.flows, -s.packets, s.itemset.items))
+    return results

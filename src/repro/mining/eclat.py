@@ -1,0 +1,140 @@
+"""Eclat frequent-itemset mining with dual (flow/packet) support.
+
+The third engine: vertical mining over transaction-id sets. Each item
+maps to the set of transactions containing it; itemset supports come
+from tid-set intersections, with packet/byte supports summed over the
+intersected ids. Used mainly as an independent oracle in the
+cross-engine equivalence tests, and competitive on the small, dense
+candidate sets the extraction pipeline produces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MiningError
+from repro.flows.record import FlowFeature
+from repro.mining.items import ItemsetSupport
+from repro.mining.transactions import TransactionSet
+
+__all__ = ["mine_eclat"]
+
+
+def _is_frequent(
+    flows: int,
+    packets: int,
+    min_flows: int | None,
+    min_packets: int | None,
+) -> bool:
+    if min_flows is not None and flows >= min_flows:
+        return True
+    if min_packets is not None and packets >= min_packets:
+        return True
+    return False
+
+
+def mine_eclat(
+    transactions: TransactionSet,
+    min_flows: int | None,
+    min_packets: int | None = None,
+    max_size: int | None = None,
+) -> list[ItemsetSupport]:
+    """Mine all frequent itemsets of ``transactions`` via Eclat.
+
+    Same contract and result ordering as
+    :func:`repro.mining.apriori.mine_apriori`.
+    """
+    if min_flows is None and min_packets is None:
+        raise MiningError(
+            "at least one of min_flows/min_packets must be set"
+        )
+    if min_flows is not None and min_flows < 1:
+        raise MiningError(f"min_flows must be >= 1: {min_flows!r}")
+    if min_packets is not None and min_packets < 1:
+        raise MiningError(f"min_packets must be >= 1: {min_packets!r}")
+    if max_size is None:
+        max_size = len(transactions.features)
+    if max_size < 1:
+        raise MiningError(f"max_size must be >= 1: {max_size!r}")
+    if not transactions:
+        return []
+
+    # Vertical layout: item id -> set of transaction indices.
+    tidsets: dict[int, set[int]] = {}
+    packet_weight: list[int] = []
+    byte_weight: list[int] = []
+    for tid, transaction in enumerate(transactions):
+        packet_weight.append(transaction.packets)
+        byte_weight.append(transaction.bytes)
+        for item_id in transaction.item_ids:
+            tidsets.setdefault(item_id, set()).add(tid)
+
+    def measure(tids: set[int]) -> tuple[int, int, int]:
+        return (
+            len(tids),
+            sum(packet_weight[tid] for tid in tids),
+            sum(byte_weight[tid] for tid in tids),
+        )
+
+    results: list[ItemsetSupport] = []
+    feature_of = transactions.feature_of
+
+    frequent_roots: list[tuple[int, set[int]]] = []
+    for item_id in sorted(tidsets):
+        tids = tidsets[item_id]
+        flows, packets, bytes_ = measure(tids)
+        if _is_frequent(flows, packets, min_flows, min_packets):
+            frequent_roots.append((item_id, tids))
+            results.append(
+                ItemsetSupport(
+                    itemset=transactions.decode((item_id,)),
+                    flows=flows,
+                    packets=packets,
+                    bytes=bytes_,
+                )
+            )
+
+    def extend(
+        prefix_ids: tuple[int, ...],
+        prefix_tids: set[int],
+        prefix_features: frozenset[FlowFeature],
+        siblings: list[tuple[int, set[int]]],
+    ) -> None:
+        """Depth-first extension of ``prefix`` with larger sibling items."""
+        if len(prefix_ids) >= max_size:
+            return
+        extensions: list[tuple[int, set[int]]] = []
+        for item_id, item_tids in siblings:
+            if feature_of(item_id) in prefix_features:
+                continue
+            tids = prefix_tids & item_tids
+            if not tids:
+                continue
+            flows, packets, bytes_ = measure(tids)
+            if not _is_frequent(flows, packets, min_flows, min_packets):
+                continue
+            results.append(
+                ItemsetSupport(
+                    itemset=transactions.decode(prefix_ids + (item_id,)),
+                    flows=flows,
+                    packets=packets,
+                    bytes=bytes_,
+                )
+            )
+            extensions.append((item_id, tids))
+        for index, (item_id, tids) in enumerate(extensions):
+            extend(
+                prefix_ids + (item_id,),
+                tids,
+                prefix_features | {feature_of(item_id)},
+                extensions[index + 1 :],
+            )
+
+    for index, (item_id, tids) in enumerate(frequent_roots):
+        extend(
+            (item_id,),
+            tids,
+            frozenset((feature_of(item_id),)),
+            frequent_roots[index + 1 :],
+        )
+
+    results.sort(key=lambda s: (-s.flows, -s.packets, s.itemset.items))
+    return results

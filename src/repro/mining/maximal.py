@@ -1,0 +1,83 @@
+"""Closed and maximal itemset reduction.
+
+A frequent-itemset run over flow data returns heavily redundant results:
+every subset of a frequent itemset is frequent too. The extraction step
+reports *maximal* itemsets (no frequent proper superset) so operators
+see one row per phenomenon, and uses *closed* itemsets (no superset with
+identical support) when exact supports of the collapsed subsets matter.
+"""
+
+from __future__ import annotations
+
+from repro.mining.items import ItemsetSupport
+
+__all__ = ["maximal_itemsets", "closed_itemsets"]
+
+
+def _by_size(
+    supports: list[ItemsetSupport],
+) -> dict[int, list[ItemsetSupport]]:
+    buckets: dict[int, list[ItemsetSupport]] = {}
+    for support in supports:
+        buckets.setdefault(len(support.itemset), []).append(support)
+    return buckets
+
+
+def maximal_itemsets(
+    supports: list[ItemsetSupport],
+) -> list[ItemsetSupport]:
+    """Keep only itemsets without a frequent proper superset.
+
+    Input order is preserved among survivors.
+    """
+    buckets = _by_size(supports)
+    sizes = sorted(buckets, reverse=True)
+    kept: list[ItemsetSupport] = []
+    for size in sizes:
+        larger = [
+            s
+            for larger_size in sizes
+            if larger_size > size
+            for s in buckets[larger_size]
+        ]
+        for support in buckets[size]:
+            if not any(
+                support.itemset.issubset(big.itemset) for big in larger
+            ):
+                kept.append(support)
+    order = {id(s): i for i, s in enumerate(supports)}
+    kept.sort(key=lambda s: order[id(s)])
+    return kept
+
+
+def closed_itemsets(
+    supports: list[ItemsetSupport],
+) -> list[ItemsetSupport]:
+    """Keep itemsets with no proper superset of identical dual support.
+
+    Closure is taken on both measures: a superset absorbs a subset only
+    when flow *and* packet supports match exactly (it then covers the
+    same transactions).
+    """
+    buckets = _by_size(supports)
+    sizes = sorted(buckets, reverse=True)
+    kept: list[ItemsetSupport] = []
+    for size in sizes:
+        larger = [
+            s
+            for larger_size in sizes
+            if larger_size > size
+            for s in buckets[larger_size]
+        ]
+        for support in buckets[size]:
+            absorbed = any(
+                support.flows == big.flows
+                and support.packets == big.packets
+                and support.itemset.issubset(big.itemset)
+                for big in larger
+            )
+            if not absorbed:
+                kept.append(support)
+    order = {id(s): i for i, s in enumerate(supports)}
+    kept.sort(key=lambda s: order[id(s)])
+    return kept

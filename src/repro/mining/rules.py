@@ -1,0 +1,106 @@
+"""Association rules over mined flow itemsets.
+
+The technique behind the demo was introduced as "anomaly extraction
+using association rules" [1, 2]: beyond raw frequent itemsets, rules of
+the form ``{srcIP=a} → {dstPort=q}`` expose *dependencies* between
+feature values — e.g. that nearly every flow from a suspect source hits
+one port. Confidence and lift are computed on flow support, with a
+packet-confidence companion for volume-dominated anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import MiningError
+from repro.mining.items import Itemset, ItemsetSupport
+
+__all__ = ["AssociationRule", "derive_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """A rule ``antecedent → consequent`` with its quality measures."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    flows: int
+    confidence: float
+    packet_confidence: float
+    lift: float
+
+    def render(self, anonymize: bool = False) -> str:
+        """``{…} → {…} (conf=…, lift=…)`` text form."""
+        return (
+            f"{self.antecedent.render(anonymize)} -> "
+            f"{self.consequent.render(anonymize)} "
+            f"(conf={self.confidence:.2f}, lift={self.lift:.2f}, "
+            f"{self.flows} flows)"
+        )
+
+
+def derive_rules(
+    supports: list[ItemsetSupport],
+    total_flows: int,
+    min_confidence: float = 0.8,
+) -> list[AssociationRule]:
+    """Derive association rules from a frequent-itemset collection.
+
+    Every frequent itemset of size >= 2 is split into all
+    antecedent/consequent partitions whose parts are themselves in the
+    collection (they always are for a complete mining run). Rules below
+    ``min_confidence`` (flow-based) are dropped. Results are sorted by
+    decreasing confidence, then flow support.
+    """
+    if not 0 < min_confidence <= 1:
+        raise MiningError(
+            f"min_confidence must lie in (0, 1]: {min_confidence!r}"
+        )
+    if total_flows <= 0:
+        raise MiningError(f"total_flows must be positive: {total_flows!r}")
+
+    by_itemset: dict[Itemset, ItemsetSupport] = {
+        support.itemset: support for support in supports
+    }
+    rules = []
+    for support in supports:
+        items = support.itemset.items
+        if len(items) < 2:
+            continue
+        for antecedent_size in range(1, len(items)):
+            for antecedent_items in combinations(items, antecedent_size):
+                antecedent = Itemset(antecedent_items)
+                consequent = Itemset(
+                    item for item in items if item not in antecedent_items
+                )
+                antecedent_support = by_itemset.get(antecedent)
+                consequent_support = by_itemset.get(consequent)
+                if antecedent_support is None or consequent_support is None:
+                    # Incomplete collection (e.g. maximal-only input);
+                    # the rule's measures cannot be computed.
+                    continue
+                confidence = support.flows / antecedent_support.flows
+                if confidence < min_confidence:
+                    continue
+                packet_confidence = (
+                    support.packets / antecedent_support.packets
+                    if antecedent_support.packets
+                    else 0.0
+                )
+                consequent_share = consequent_support.flows / total_flows
+                lift = (
+                    confidence / consequent_share if consequent_share else 0.0
+                )
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        flows=support.flows,
+                        confidence=confidence,
+                        packet_confidence=packet_confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.flows))
+    return rules

@@ -1,0 +1,168 @@
+"""Flow → transaction encoding for the mining engines.
+
+Every flow becomes a transaction of (feature, value) items. For engine
+speed, items are interned to dense integer ids: a
+:class:`TransactionSet` holds, per flow, a sorted tuple of item ids plus
+the flow's packet and byte weights. All three engines (Apriori,
+FP-Growth, Eclat) consume this one representation, so their outputs are
+directly comparable — which the property-based tests exploit.
+
+Item ids are ordered by (feature, value); ids therefore sort items
+consistently across the whole set, which Apriori's prefix join relies
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import MiningError
+from repro.flows.record import FLOW_FEATURES, FlowFeature, FlowRecord, feature_value
+from repro.mining.items import Item, Itemset
+
+__all__ = ["Transaction", "TransactionSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """One encoded transaction: sorted item ids plus weights."""
+
+    item_ids: tuple[int, ...]
+    packets: int
+    bytes: int
+
+
+class TransactionSet:
+    """Encoded transactions with the item intern table.
+
+    Build with :meth:`from_flows`. The mining engines report supports in
+    *flows* (number of transactions containing the itemset) and
+    *packets* (sum of the packet weights of those transactions).
+    """
+
+    def __init__(
+        self,
+        transactions: list[Transaction],
+        id_to_item: list[Item],
+        features: tuple[FlowFeature, ...],
+    ) -> None:
+        self._transactions = transactions
+        self._id_to_item = id_to_item
+        self.features = features
+        self.total_flows = len(transactions)
+        self.total_packets = sum(t.packets for t in transactions)
+        self.total_bytes = sum(t.bytes for t in transactions)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_flows(
+        cls,
+        flows: Iterable[FlowRecord],
+        features: tuple[FlowFeature, ...] = FLOW_FEATURES,
+    ) -> "TransactionSet":
+        """Encode flows over the chosen features (default: all five)."""
+        if not features:
+            raise MiningError("at least one feature is required")
+        seen = set()
+        for feature in features:
+            if feature in seen:
+                raise MiningError(f"duplicate feature {feature.value}")
+            seen.add(feature)
+
+        intern: dict[tuple[FlowFeature, int], int] = {}
+        pending: list[tuple[tuple[tuple[FlowFeature, int], ...], int, int]] = []
+        for flow in flows:
+            keys = tuple(
+                (feature, feature_value(flow, feature))
+                for feature in features
+            )
+            pending.append((keys, flow.packets, flow.bytes))
+            for key in keys:
+                if key not in intern:
+                    intern[key] = 0  # placeholder; ids assigned after sort
+
+        # Assign ids in (feature order, value) order so id order == item
+        # order; Apriori's prefix join depends on this.
+        feature_rank = {feature: i for i, feature in enumerate(FLOW_FEATURES)}
+        ordered_keys = sorted(
+            intern, key=lambda fv: (feature_rank[fv[0]], fv[1])
+        )
+        for item_id, key in enumerate(ordered_keys):
+            intern[key] = item_id
+        id_to_item = [Item(feature, value) for feature, value in ordered_keys]
+
+        transactions = [
+            Transaction(
+                item_ids=tuple(sorted(intern[key] for key in keys)),
+                packets=packets,
+                bytes=bytes_,
+            )
+            for keys, packets, bytes_ in pending
+        ]
+        return cls(transactions, id_to_item, tuple(features))
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.total_flows
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __bool__(self) -> bool:
+        return bool(self._transactions)
+
+    @property
+    def item_count(self) -> int:
+        """Number of distinct items."""
+        return len(self._id_to_item)
+
+    def item(self, item_id: int) -> Item:
+        """Decode an item id."""
+        return self._id_to_item[item_id]
+
+    def feature_of(self, item_id: int) -> FlowFeature:
+        """Feature of an item id."""
+        return self._id_to_item[item_id].feature
+
+    def decode(self, item_ids: Sequence[int]) -> Itemset:
+        """Decode a tuple of item ids into an :class:`Itemset`."""
+        return Itemset(self._id_to_item[item_id] for item_id in item_ids)
+
+    # -- thresholds --------------------------------------------------------------
+
+    def absolute_thresholds(
+        self,
+        min_flow_share: float | None,
+        min_packet_share: float | None,
+        floor_flows: int = 1,
+        floor_packets: int = 1,
+    ) -> tuple[int | None, int | None]:
+        """Convert relative supports to absolute counts.
+
+        ``None`` disables the corresponding measure. Floors keep the
+        thresholds meaningful on tiny candidate sets.
+        """
+        min_flows: int | None = None
+        min_packets: int | None = None
+        if min_flow_share is not None:
+            if not 0 < min_flow_share <= 1:
+                raise MiningError(
+                    f"min_flow_share must lie in (0, 1]: {min_flow_share!r}"
+                )
+            min_flows = max(
+                floor_flows, int(round(min_flow_share * self.total_flows))
+            )
+        if min_packet_share is not None:
+            if not 0 < min_packet_share <= 1:
+                raise MiningError(
+                    f"min_packet_share must lie in (0, 1]: "
+                    f"{min_packet_share!r}"
+                )
+            min_packets = max(
+                floor_packets,
+                int(round(min_packet_share * self.total_packets)),
+            )
+        return min_flows, min_packets

@@ -1,0 +1,53 @@
+"""Synthetic labelled NetFlow traces: topology, background and anomalies.
+
+Stands in for the paper's SWITCH/GEANT traces (see DESIGN.md §2): seeded
+generators produce backbone-shaped background traffic over a GEANT-like
+18-PoP topology, anomaly injectors add labelled attack flows, and the
+scenario composer merges and optionally packet-samples the result.
+"""
+
+from repro.synth.anomalies import (
+    AlphaFlow,
+    AnomalyInjector,
+    AnomalyKind,
+    FlashCrowd,
+    GroundTruth,
+    NetworkScan,
+    PortScan,
+    ReflectorAttack,
+    Signature,
+    StealthyAnomaly,
+    SynFlood,
+    UdpFlood,
+)
+from repro.synth.background import (
+    BackgroundConfig,
+    BackgroundGenerator,
+    ServiceMix,
+)
+from repro.synth.scenario import Injection, LabeledTrace, Scenario
+from repro.synth.topology import GEANT_POP_NAMES, PointOfPresence, Topology
+
+__all__ = [
+    "AlphaFlow",
+    "AnomalyInjector",
+    "AnomalyKind",
+    "FlashCrowd",
+    "GroundTruth",
+    "NetworkScan",
+    "PortScan",
+    "ReflectorAttack",
+    "Signature",
+    "StealthyAnomaly",
+    "SynFlood",
+    "UdpFlood",
+    "BackgroundConfig",
+    "BackgroundGenerator",
+    "ServiceMix",
+    "Injection",
+    "LabeledTrace",
+    "Scenario",
+    "GEANT_POP_NAMES",
+    "PointOfPresence",
+    "Topology",
+]

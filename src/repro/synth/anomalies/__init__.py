@@ -1,0 +1,31 @@
+"""Anomaly injectors and ground-truth labelling."""
+
+from repro.synth.anomalies.base import (
+    AnomalyInjector,
+    AnomalyKind,
+    GroundTruth,
+    Signature,
+)
+from repro.synth.anomalies.floods import SynFlood, UdpFlood
+from repro.synth.anomalies.other import (
+    AlphaFlow,
+    FlashCrowd,
+    ReflectorAttack,
+    StealthyAnomaly,
+)
+from repro.synth.anomalies.scans import NetworkScan, PortScan
+
+__all__ = [
+    "AnomalyInjector",
+    "AnomalyKind",
+    "GroundTruth",
+    "Signature",
+    "SynFlood",
+    "UdpFlood",
+    "AlphaFlow",
+    "FlashCrowd",
+    "ReflectorAttack",
+    "StealthyAnomaly",
+    "NetworkScan",
+    "PortScan",
+]

@@ -1,0 +1,148 @@
+"""Anomaly-injector framework and ground-truth labels.
+
+Each injector synthesises the flows of one anomaly (a scan, a flood, ...)
+over a time interval and returns, alongside the flows, a
+:class:`GroundTruth` record: the interval, the anomaly class and one or
+more :class:`Signature` objects — the set of feature values every flow of
+that anomaly component shares. Signatures are exactly the itemsets a
+perfect extractor should return, which makes evaluation mechanical:
+the paper's authors validated extraction manually against NOC tickets;
+we validate against injected labels.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SynthesisError
+from repro.flows.record import (
+    FlowFeature,
+    FlowRecord,
+    feature_value,
+    format_feature_value,
+)
+from repro.taxonomy import AnomalyKind
+
+__all__ = [
+    "AnomalyKind",
+    "Signature",
+    "GroundTruth",
+    "AnomalyInjector",
+]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Feature values shared by all flows of one anomaly component.
+
+    ``items`` maps flow features to the common value; features absent
+    from the mapping are wildcards (the ``*`` of the paper's Table 1).
+    """
+
+    items: Mapping[FlowFeature, int]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise SynthesisError("a signature needs at least one item")
+
+    def matches(self, flow: FlowRecord) -> bool:
+        """True when the flow carries every signature value."""
+        return all(
+            feature_value(flow, feat) == value
+            for feat, value in self.items.items()
+        )
+
+    def as_dict(self) -> dict[FlowFeature, int]:
+        """Plain-dict copy of the signature items."""
+        return dict(self.items)
+
+    def render(self, anonymize: bool = False) -> str:
+        """Human-readable ``feature=value`` listing."""
+        parts = [
+            f"{feat.value}={format_feature_value(feat, value, anonymize)}"
+            for feat, value in sorted(
+                self.items.items(), key=lambda kv: kv[0].value
+            )
+        ]
+        return ", ".join(parts)
+
+
+@dataclass
+class GroundTruth:
+    """Everything the evaluation needs to score one injected anomaly."""
+
+    anomaly_id: str
+    kind: AnomalyKind
+    start: float
+    end: float
+    signatures: list[Signature]
+    flow_count: int = 0
+    packet_count: int = 0
+    byte_count: int = 0
+    #: Signatures the simulated detector reports in its alarm meta-data.
+    #: ``None`` (the default) means all of them; an explicit empty list
+    #: means the detector sees nothing (stealthy anomalies). Scenarios
+    #: blank out entries to model the paper's "detector missed part of
+    #: the anomaly" cases.
+    detector_visible: list[Signature] | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SynthesisError(
+                f"anomaly interval is empty: [{self.start}, {self.end})"
+            )
+        if not self.signatures:
+            raise SynthesisError("ground truth requires >= 1 signature")
+        if self.detector_visible is None:
+            self.detector_visible = list(self.signatures)
+
+    def matches(self, flow: FlowRecord) -> bool:
+        """True when ``flow`` belongs to this anomaly."""
+        if not (self.start <= flow.start < self.end):
+            return False
+        return any(sig.matches(flow) for sig in self.signatures)
+
+    def anomalous_flows(
+        self, flows: Iterable[FlowRecord]
+    ) -> list[FlowRecord]:
+        """Subset of ``flows`` belonging to this anomaly."""
+        return [flow for flow in flows if self.matches(flow)]
+
+    def tally(self, flows: Sequence[FlowRecord]) -> None:
+        """Record the injected volume counters."""
+        self.flow_count = len(flows)
+        self.packet_count = sum(f.packets for f in flows)
+        self.byte_count = sum(f.bytes for f in flows)
+
+
+class AnomalyInjector(abc.ABC):
+    """Base class: synthesises one anomaly's flows plus its label."""
+
+    #: Class of anomaly the injector produces.
+    kind: AnomalyKind
+
+    def __init__(self, anomaly_id: str) -> None:
+        if not anomaly_id:
+            raise SynthesisError("anomaly_id must be non-empty")
+        self.anomaly_id = anomaly_id
+
+    @abc.abstractmethod
+    def inject(
+        self, start: float, end: float, rng: random.Random
+    ) -> tuple[list[FlowRecord], GroundTruth]:
+        """Generate the anomaly's flows over ``[start, end)``.
+
+        Implementations must return flows whose start times lie inside
+        the interval and a fully populated :class:`GroundTruth`.
+        """
+
+    def _check_interval(self, start: float, end: float) -> None:
+        if end <= start:
+            raise SynthesisError(
+                f"{self.anomaly_id}: empty interval [{start}, {end})"
+            )

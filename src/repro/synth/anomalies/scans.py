@@ -1,0 +1,196 @@
+"""Scan injectors: horizontal port scans and network scans.
+
+The paper's showcase anomaly (Table 1) is a port scan: one source host
+probing many destination ports of one target from a fixed source port
+(55548 in the paper), producing hundreds of thousands of tiny TCP flows
+that all share ``srcIP``, ``dstIP`` and ``srcPort`` — a textbook frequent
+itemset. NetReflex catches such scans through destination-port entropy
+shifts; extraction recovers the itemset.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SynthesisError
+from repro.flows.record import FlowFeature, FlowRecord, Protocol, TcpFlags
+from repro.synth.anomalies.base import (
+    AnomalyInjector,
+    AnomalyKind,
+    GroundTruth,
+    Signature,
+)
+
+__all__ = ["PortScan", "NetworkScan"]
+
+
+class PortScan(AnomalyInjector):
+    """One scanner sweeping destination ports of a single target.
+
+    Parameters
+    ----------
+    scanner, target:
+        IPv4 integers of the attacker and the scanned host.
+    flow_count:
+        Number of probe flows to emit (the paper's case shows ~312K
+        flows; tests use far fewer).
+    src_port:
+        Fixed source port (the paper's scanner used 55548). ``None``
+        draws a fresh ephemeral port per probe, weakening the itemset to
+        {srcIP, dstIP} — useful for ablations.
+    syn_only:
+        Emit pure-SYN probes (half-open scan) when True.
+    """
+
+    kind = AnomalyKind.PORT_SCAN
+
+    def __init__(
+        self,
+        anomaly_id: str,
+        scanner: int,
+        target: int,
+        flow_count: int,
+        src_port: int | None = 55548,
+        router: int = 0,
+        syn_only: bool = True,
+    ) -> None:
+        super().__init__(anomaly_id)
+        if flow_count <= 0:
+            raise SynthesisError("flow_count must be positive")
+        if src_port is not None and not 0 <= src_port <= 0xFFFF:
+            raise SynthesisError(f"bad src_port {src_port!r}")
+        self.scanner = scanner
+        self.target = target
+        self.flow_count = flow_count
+        self.src_port = src_port
+        self.router = router
+        self.syn_only = syn_only
+
+    def inject(
+        self, start: float, end: float, rng: random.Random
+    ) -> tuple[list[FlowRecord], GroundTruth]:
+        self._check_interval(start, end)
+        duration = end - start
+        flags = TcpFlags.SYN if self.syn_only else (TcpFlags.SYN | TcpFlags.ACK)
+        flows = []
+        # Sequential sweep with wraparound; dst ports cycle 1..65535 so a
+        # scan larger than the port space revisits ports (as real
+        # scanners configured for multiple passes do).
+        port_cursor = rng.randint(1, 0xFFFF)
+        for index in range(self.flow_count):
+            offset = duration * index / self.flow_count
+            dst_port = 1 + (port_cursor + index) % 0xFFFF
+            src_port = (
+                self.src_port
+                if self.src_port is not None
+                else rng.randint(1024, 65535)
+            )
+            packets = 1 if self.syn_only else rng.randint(1, 3)
+            flow_start = start + offset
+            flows.append(
+                FlowRecord(
+                    src_ip=self.scanner,
+                    dst_ip=self.target,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    proto=Protocol.TCP,
+                    packets=packets,
+                    bytes=packets * 40,
+                    start=flow_start,
+                    end=flow_start + 0.001,
+                    tcp_flags=int(flags),
+                    router=self.router,
+                )
+            )
+        items = {
+            FlowFeature.SRC_IP: self.scanner,
+            FlowFeature.DST_IP: self.target,
+            FlowFeature.PROTO: int(Protocol.TCP),
+        }
+        if self.src_port is not None:
+            items[FlowFeature.SRC_PORT] = self.src_port
+        truth = GroundTruth(
+            anomaly_id=self.anomaly_id,
+            kind=self.kind,
+            start=start,
+            end=end,
+            signatures=[
+                Signature(items, description="port scan probe flows")
+            ],
+        )
+        truth.tally(flows)
+        return flows, truth
+
+
+class NetworkScan(AnomalyInjector):
+    """One scanner probing a fixed service port across many hosts.
+
+    All probe flows share ``srcIP``, ``dstPort`` and ``proto`` while the
+    destination IP sweeps a prefix; destination-IP entropy spikes, which
+    is the other scan pattern NetReflex flags.
+    """
+
+    kind = AnomalyKind.NETWORK_SCAN
+
+    def __init__(
+        self,
+        anomaly_id: str,
+        scanner: int,
+        target_network: int,
+        target_count: int,
+        dst_port: int = 445,
+        router: int = 0,
+    ) -> None:
+        super().__init__(anomaly_id)
+        if target_count <= 0:
+            raise SynthesisError("target_count must be positive")
+        if not 0 <= dst_port <= 0xFFFF:
+            raise SynthesisError(f"bad dst_port {dst_port!r}")
+        self.scanner = scanner
+        self.target_network = target_network
+        self.target_count = target_count
+        self.dst_port = dst_port
+        self.router = router
+
+    def inject(
+        self, start: float, end: float, rng: random.Random
+    ) -> tuple[list[FlowRecord], GroundTruth]:
+        self._check_interval(start, end)
+        duration = end - start
+        flows = []
+        for index in range(self.target_count):
+            offset = duration * index / self.target_count
+            flow_start = start + offset
+            flows.append(
+                FlowRecord(
+                    src_ip=self.scanner,
+                    dst_ip=self.target_network + index,
+                    src_port=rng.randint(1024, 65535),
+                    dst_port=self.dst_port,
+                    proto=Protocol.TCP,
+                    packets=1,
+                    bytes=40,
+                    start=flow_start,
+                    end=flow_start + 0.001,
+                    tcp_flags=int(TcpFlags.SYN),
+                    router=self.router,
+                )
+            )
+        truth = GroundTruth(
+            anomaly_id=self.anomaly_id,
+            kind=self.kind,
+            start=start,
+            end=end,
+            signatures=[
+                Signature(
+                    {
+                        FlowFeature.SRC_IP: self.scanner,
+                        FlowFeature.DST_PORT: self.dst_port,
+                        FlowFeature.PROTO: int(Protocol.TCP),
+                    },
+                    description="network scan probe flows",
+                )
+            ],
+        )
+        truth.tally(flows)
+        return flows, truth

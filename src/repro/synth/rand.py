@@ -1,0 +1,111 @@
+"""Seeded random-distribution helpers for traffic synthesis.
+
+Backbone traffic is famously heavy-tailed: a few hosts, ports and flows
+carry most of the volume. The generators draw from Zipf-like rank
+distributions (host/port popularity), bounded Pareto (flow sizes) and
+lognormal (durations), all driven by an explicit :class:`random.Random`
+instance so every trace is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import SynthesisError
+
+__all__ = [
+    "ZipfSampler",
+    "bounded_pareto_int",
+    "lognormal_duration",
+    "exponential_interarrival",
+    "pick_weighted",
+]
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Zipf(alpha) sampler over ranks ``0..n-1`` with a precomputed CDF.
+
+    Rank ``r`` has probability proportional to ``1 / (r + 1) ** alpha``.
+    Sampling is O(log n) via bisection on the cumulative weights.
+    """
+
+    def __init__(self, n: int, alpha: float = 1.0) -> None:
+        if n <= 0:
+            raise SynthesisError(f"population size must be positive: {n!r}")
+        if alpha < 0:
+            raise SynthesisError(f"alpha must be non-negative: {alpha!r}")
+        self.n = n
+        self.alpha = alpha
+        weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a rank in ``0..n-1``."""
+        point = rng.random() * self._total
+        return min(bisect.bisect_left(self._cumulative, point), self.n - 1)
+
+    def probability(self, rank: int) -> float:
+        """Probability mass of ``rank``."""
+        if not 0 <= rank < self.n:
+            raise SynthesisError(f"rank {rank} outside 0..{self.n - 1}")
+        return (1.0 / (rank + 1) ** self.alpha) / self._total
+
+
+def bounded_pareto_int(
+    rng: random.Random, minimum: int, maximum: int, alpha: float = 1.2
+) -> int:
+    """Bounded Pareto integer draw in ``[minimum, maximum]``.
+
+    Used for packets-per-flow and bytes-per-flow: most flows are tiny,
+    a few are elephants.
+    """
+    if minimum <= 0 or maximum < minimum:
+        raise SynthesisError(
+            f"bad Pareto bounds [{minimum}, {maximum}]"
+        )
+    if minimum == maximum:
+        return minimum
+    if alpha <= 0:
+        raise SynthesisError(f"alpha must be positive: {alpha!r}")
+    low = float(minimum)
+    high = float(maximum)
+    u = rng.random()
+    # Inverse CDF of the bounded Pareto distribution.
+    ha = high**alpha
+    la = low**alpha
+    value = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+    return max(minimum, min(maximum, int(value)))
+
+
+def lognormal_duration(
+    rng: random.Random, median: float = 2.0, sigma: float = 1.2,
+    maximum: float = 240.0,
+) -> float:
+    """Lognormal flow duration in seconds, capped at ``maximum``."""
+    if median <= 0 or sigma <= 0 or maximum <= 0:
+        raise SynthesisError("lognormal parameters must be positive")
+    value = rng.lognormvariate(math.log(median), sigma)
+    return min(value, maximum)
+
+
+def exponential_interarrival(rng: random.Random, rate: float) -> float:
+    """Exponential inter-arrival gap for a Poisson process of ``rate``/s."""
+    if rate <= 0:
+        raise SynthesisError(f"rate must be positive: {rate!r}")
+    return rng.expovariate(rate)
+
+
+def pick_weighted(
+    rng: random.Random, items: Sequence[T], weights: Sequence[float]
+) -> T:
+    """Draw one item with the given (not necessarily normalised) weights."""
+    if len(items) != len(weights) or not items:
+        raise SynthesisError("items and weights must be equal-length, non-empty")
+    return rng.choices(items, weights=weights, k=1)[0]

@@ -1,0 +1,160 @@
+"""A GEANT-like backbone topology model.
+
+The paper's deployment observes NetFlow from the 18 points-of-presence of
+the GEANT Europe-wide research backbone. This module models exactly what
+the generators and detectors need from that network:
+
+* a set of PoPs, each with a customer address prefix and a traffic
+  popularity weight (national networks differ hugely in size);
+* per-PoP host populations with Zipf popularity;
+* external (non-GEANT) address space for transit/Internet endpoints.
+
+It deliberately does *not* model links or routing — NetFlow analysis in
+the paper happens per exporting PoP, which is captured by the
+``router`` field of each flow record.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.flows.addresses import AddressPlan, Prefix
+from repro.synth.rand import ZipfSampler
+
+__all__ = ["GEANT_POP_NAMES", "PointOfPresence", "Topology"]
+
+#: The 18 GEANT points of presence circa 2009/2010 (city names).
+GEANT_POP_NAMES: tuple[str, ...] = (
+    "Amsterdam",
+    "Athens",
+    "Barcelona",
+    "Bratislava",
+    "Brussels",
+    "Budapest",
+    "Copenhagen",
+    "Frankfurt",
+    "Geneva",
+    "London",
+    "Ljubljana",
+    "Luxembourg",
+    "Madrid",
+    "Milan",
+    "Paris",
+    "Prague",
+    "Vienna",
+    "Zurich",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PointOfPresence:
+    """One PoP: name, index, customer prefix and popularity weight."""
+
+    index: int
+    name: str
+    prefix: Prefix
+    weight: float
+
+
+class Topology:
+    """PoPs, address plan and endpoint sampling for trace synthesis.
+
+    Parameters
+    ----------
+    pop_names:
+        PoP labels; defaults to the 18 GEANT cities.
+    parent_prefix:
+        Address space carved into per-PoP /16 customer prefixes.
+    hosts_per_pop:
+        Size of each PoP's active host population; hosts are addressed
+        deterministically inside the PoP prefix and picked with Zipf
+        popularity (rank 0 = busiest server).
+    zipf_alpha:
+        Skew of both the PoP and host popularity distributions.
+    """
+
+    def __init__(
+        self,
+        pop_names: tuple[str, ...] = GEANT_POP_NAMES,
+        parent_prefix: str = "10.0.0.0/8",
+        hosts_per_pop: int = 4096,
+        zipf_alpha: float = 1.1,
+        external_prefix: str = "128.0.0.0/3",
+    ) -> None:
+        if not pop_names:
+            raise SynthesisError("at least one PoP is required")
+        if hosts_per_pop <= 0:
+            raise SynthesisError("hosts_per_pop must be positive")
+        parent = Prefix.parse(parent_prefix)
+        self.plan = AddressPlan(parent, len(pop_names), pop_length=16)
+        self.external = Prefix.parse(external_prefix)
+        self.hosts_per_pop = hosts_per_pop
+        # PoP weights: Zipf over a deterministic shuffle of the name list so
+        # "big" PoPs are stable for a given name tuple.
+        pop_sampler = ZipfSampler(len(pop_names), alpha=zipf_alpha)
+        self.pops: list[PointOfPresence] = [
+            PointOfPresence(
+                index=i,
+                name=name,
+                prefix=self.plan.prefix_for(i),
+                weight=pop_sampler.probability(i),
+            )
+            for i, name in enumerate(pop_names)
+        ]
+        self._pop_sampler = pop_sampler
+        self._host_sampler = ZipfSampler(hosts_per_pop, alpha=zipf_alpha)
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def pop_count(self) -> int:
+        """Number of PoPs."""
+        return len(self.pops)
+
+    def pop_of(self, address: int) -> int | None:
+        """PoP index owning ``address`` or ``None`` for external space."""
+        return self.plan.pop_of(address)
+
+    def pop_by_name(self, name: str) -> PointOfPresence:
+        """Look a PoP up by its (case-insensitive) name."""
+        wanted = name.strip().lower()
+        for pop in self.pops:
+            if pop.name.lower() == wanted:
+                return pop
+        raise SynthesisError(f"unknown PoP {name!r}")
+
+    # -- endpoint sampling ----------------------------------------------------
+
+    def random_pop(self, rng: random.Random) -> PointOfPresence:
+        """Draw a PoP with popularity weighting."""
+        return self.pops[self._pop_sampler.sample(rng)]
+
+    def host_address(self, pop: PointOfPresence, host_rank: int) -> int:
+        """Deterministic address of host ``host_rank`` inside ``pop``.
+
+        Rank 0 maps to the .1.1-ish bottom of the prefix so popular
+        servers have stable, low addresses.
+        """
+        if not 0 <= host_rank < self.hosts_per_pop:
+            raise SynthesisError(
+                f"host rank {host_rank} outside 0..{self.hosts_per_pop - 1}"
+            )
+        return pop.prefix.address_at(host_rank + 1)
+
+    def random_internal_host(
+        self, rng: random.Random, pop: PointOfPresence | None = None
+    ) -> int:
+        """Zipf-popular host inside ``pop`` (or a weighted random PoP)."""
+        if pop is None:
+            pop = self.random_pop(rng)
+        return self.host_address(pop, self._host_sampler.sample(rng))
+
+    def random_external_host(self, rng: random.Random) -> int:
+        """Uniform random address outside the backbone."""
+        return self.external.random_address(rng)
+
+    def is_internal(self, address: int) -> bool:
+        """True when the address belongs to a PoP customer prefix."""
+        return self.pop_of(address) is not None

@@ -1,0 +1,35 @@
+"""The assembled extraction system: Figure 1 of the paper.
+
+Alarm database (sqlite), NfDump-style flow backend, operator console and
+the :class:`ExtractionSystem` orchestrator that wires detector → alarm
+DB → extraction engine → report.
+"""
+
+from repro.system.alarmdb import AlarmDatabase, AlarmStatus
+from repro.system.backend import BackendWindows, FlowBackend
+from repro.system.config import SystemConfig
+from repro.system.console import (
+    alarm_queue_view,
+    flow_drilldown_view,
+    itemset_table_view,
+    render_table,
+    session_view,
+    verdict_view,
+)
+from repro.system.pipeline import ExtractionSystem, TriageResult
+
+__all__ = [
+    "AlarmDatabase",
+    "AlarmStatus",
+    "BackendWindows",
+    "FlowBackend",
+    "SystemConfig",
+    "alarm_queue_view",
+    "flow_drilldown_view",
+    "itemset_table_view",
+    "render_table",
+    "session_view",
+    "verdict_view",
+    "ExtractionSystem",
+    "TriageResult",
+]

@@ -1,0 +1,239 @@
+"""The alarm database.
+
+Figure 1's integration point: "our system reads from a database
+information about an alarm (e.g., the time interval and the affected
+traffic features) and thus can be integrated with any anomaly detection
+system that provides these data."
+
+:class:`AlarmDatabase` is a small sqlite3-backed store (file or
+in-memory) holding alarms and their meta-data hints, plus the operator's
+triage state — open, extracted, validated, dismissed — so the console
+can drive the same workflow the GEANT NOC used.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import closing
+from pathlib import Path
+
+from repro.detect.base import Alarm, MetadataItem
+from repro.errors import AlarmDatabaseError
+from repro.flows.record import FlowFeature
+
+__all__ = ["AlarmStatus", "AlarmDatabase"]
+
+
+class AlarmStatus:
+    """Triage states an alarm moves through."""
+
+    OPEN = "open"
+    EXTRACTED = "extracted"
+    VALIDATED = "validated"
+    DISMISSED = "dismissed"
+
+    ALL = (OPEN, EXTRACTED, VALIDATED, DISMISSED)
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS alarms (
+    alarm_id   TEXT PRIMARY KEY,
+    detector   TEXT NOT NULL,
+    start      REAL NOT NULL,
+    end        REAL NOT NULL,
+    score      REAL NOT NULL,
+    label      TEXT NOT NULL DEFAULT '',
+    router     INTEGER,
+    status     TEXT NOT NULL DEFAULT 'open',
+    verdict    TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS alarm_metadata (
+    alarm_id   TEXT NOT NULL REFERENCES alarms(alarm_id) ON DELETE CASCADE,
+    feature    TEXT NOT NULL,
+    value      INTEGER NOT NULL,
+    weight     REAL NOT NULL DEFAULT 1.0
+);
+CREATE INDEX IF NOT EXISTS idx_metadata_alarm
+    ON alarm_metadata(alarm_id);
+CREATE INDEX IF NOT EXISTS idx_alarms_interval
+    ON alarms(start, end);
+"""
+
+
+class AlarmDatabase:
+    """sqlite-backed storage of alarms and their triage state."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "AlarmDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, alarm: Alarm) -> None:
+        """Insert one alarm with its meta-data hints."""
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO alarms (alarm_id, detector, start, end, "
+                    "score, label, router) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        alarm.alarm_id,
+                        alarm.detector,
+                        alarm.start,
+                        alarm.end,
+                        alarm.score,
+                        alarm.label,
+                        alarm.router,
+                    ),
+                )
+                self._conn.executemany(
+                    "INSERT INTO alarm_metadata (alarm_id, feature, value, "
+                    "weight) VALUES (?, ?, ?, ?)",
+                    [
+                        (alarm.alarm_id, m.feature.value, m.value, m.weight)
+                        for m in alarm.metadata
+                    ],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise AlarmDatabaseError(
+                f"alarm {alarm.alarm_id!r} already stored"
+            ) from exc
+
+    def insert_many(self, alarms: list[Alarm]) -> int:
+        """Insert several alarms; returns how many were stored."""
+        for alarm in alarms:
+            self.insert(alarm)
+        return len(alarms)
+
+    def set_status(
+        self, alarm_id: str, status: str, verdict: str = ""
+    ) -> None:
+        """Advance an alarm's triage state (optionally with a verdict)."""
+        if status not in AlarmStatus.ALL:
+            raise AlarmDatabaseError(
+                f"unknown status {status!r}; expected one of "
+                f"{AlarmStatus.ALL}"
+            )
+        with self._conn:
+            updated = self._conn.execute(
+                "UPDATE alarms SET status = ?, verdict = ? "
+                "WHERE alarm_id = ?",
+                (status, verdict, alarm_id),
+            ).rowcount
+        if updated == 0:
+            raise AlarmDatabaseError(f"unknown alarm {alarm_id!r}")
+
+    def delete(self, alarm_id: str) -> None:
+        """Remove an alarm and its meta-data."""
+        with self._conn:
+            deleted = self._conn.execute(
+                "DELETE FROM alarms WHERE alarm_id = ?", (alarm_id,)
+            ).rowcount
+        if deleted == 0:
+            raise AlarmDatabaseError(f"unknown alarm {alarm_id!r}")
+
+    # -- reads ---------------------------------------------------------------
+
+    def _row_to_alarm(self, row: sqlite3.Row | tuple) -> Alarm:
+        (alarm_id, detector, start, end, score, label, router) = row
+        metadata = []
+        with closing(
+            self._conn.execute(
+                "SELECT feature, value, weight FROM alarm_metadata "
+                "WHERE alarm_id = ? ORDER BY weight DESC",
+                (alarm_id,),
+            )
+        ) as cursor:
+            for feature_text, value, weight in cursor:
+                metadata.append(
+                    MetadataItem(
+                        feature=FlowFeature(feature_text),
+                        value=value,
+                        weight=weight,
+                    )
+                )
+        return Alarm(
+            alarm_id=alarm_id,
+            detector=detector,
+            start=start,
+            end=end,
+            score=score,
+            label=label,
+            metadata=metadata,
+            router=router,
+        )
+
+    def get(self, alarm_id: str) -> Alarm:
+        """Fetch one alarm by id."""
+        row = self._conn.execute(
+            "SELECT alarm_id, detector, start, end, score, label, router "
+            "FROM alarms WHERE alarm_id = ?",
+            (alarm_id,),
+        ).fetchone()
+        if row is None:
+            raise AlarmDatabaseError(f"unknown alarm {alarm_id!r}")
+        return self._row_to_alarm(row)
+
+    def status_of(self, alarm_id: str) -> tuple[str, str]:
+        """``(status, verdict)`` of one alarm."""
+        row = self._conn.execute(
+            "SELECT status, verdict FROM alarms WHERE alarm_id = ?",
+            (alarm_id,),
+        ).fetchone()
+        if row is None:
+            raise AlarmDatabaseError(f"unknown alarm {alarm_id!r}")
+        return (row[0], row[1])
+
+    def list_alarms(
+        self,
+        status: str | None = None,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[Alarm]:
+        """Alarms (optionally by status and/or overlapping a window)."""
+        query = (
+            "SELECT alarm_id, detector, start, end, score, label, router "
+            "FROM alarms"
+        )
+        clauses = []
+        params: list[object] = []
+        if status is not None:
+            if status not in AlarmStatus.ALL:
+                raise AlarmDatabaseError(f"unknown status {status!r}")
+            clauses.append("status = ?")
+            params.append(status)
+        if start is not None:
+            clauses.append("end > ?")
+            params.append(start)
+        if end is not None:
+            clauses.append("start < ?")
+            params.append(end)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY start, alarm_id"
+        rows = self._conn.execute(query, params).fetchall()
+        return [self._row_to_alarm(row) for row in rows]
+
+    def count(self, status: str | None = None) -> int:
+        """Number of alarms (optionally by status)."""
+        if status is None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM alarms"
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM alarms WHERE status = ?", (status,)
+            ).fetchone()
+        return int(row[0])

@@ -1,0 +1,138 @@
+"""Flow backend facade — the "NfDump" box of Figure 1.
+
+The GUI "integrates with a back-end that stores flow records and that is
+based on the popular open-source tool NfDump". :class:`FlowBackend`
+wraps a :class:`~repro.flows.store.FlowStore` with the exact operations
+the extraction system and the console need:
+
+* pull the flows of an alarm interval (plus padding bins);
+* pull a pre-alarm baseline window for the popular-value filter;
+* drill down into the raw flows matching an extracted itemset;
+* nfdump-style ad-hoc filter queries and top-N statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detect.base import Alarm
+from repro.errors import StoreError
+from repro.flows.filter import FilterNode
+from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.store import FlowStore
+from repro.flows.trace import FlowTrace
+from repro.mining.items import Itemset
+
+__all__ = ["BackendWindows", "FlowBackend"]
+
+
+@dataclass(frozen=True, slots=True)
+class BackendWindows:
+    """Time windows the backend derives from an alarm."""
+
+    interval: tuple[float, float]
+    baseline: tuple[float, float]
+
+
+class FlowBackend:
+    """Query facade over the flow archive for one deployment."""
+
+    def __init__(
+        self,
+        store: FlowStore,
+        baseline_bins: int = 3,
+        pad_bins: int = 0,
+    ) -> None:
+        if baseline_bins < 0 or pad_bins < 0:
+            raise StoreError("baseline_bins and pad_bins must be >= 0")
+        self.store = store
+        self.baseline_bins = baseline_bins
+        self.pad_bins = pad_bins
+
+    @classmethod
+    def from_trace(cls, trace: FlowTrace, **kwargs: int) -> "FlowBackend":
+        """Build a backend over an in-memory trace."""
+        return cls(FlowStore.from_trace(trace), **kwargs)
+
+    # -- alarm-driven windows ------------------------------------------------
+
+    def windows_for(self, alarm: Alarm) -> BackendWindows:
+        """Interval (padded) and baseline windows for one alarm."""
+        width = self.store.slice_seconds
+        start = alarm.start - self.pad_bins * width
+        end = alarm.end + self.pad_bins * width
+        baseline_start = start - self.baseline_bins * width
+        return BackendWindows(
+            interval=(start, end),
+            baseline=(baseline_start, start),
+        )
+
+    def alarm_flows(self, alarm: Alarm) -> list[FlowRecord]:
+        """All flows of the (padded) alarm interval."""
+        start, end = self.windows_for(alarm).interval
+        return self.store.query(start, end)
+
+    def baseline_flows(self, alarm: Alarm) -> list[FlowRecord]:
+        """Flows of the pre-alarm baseline window (may be empty)."""
+        start, end = self.windows_for(alarm).baseline
+        if end <= start:
+            return []
+        return self.store.query(start, end)
+
+    # -- drill-down ---------------------------------------------------------
+
+    def itemset_flows(
+        self,
+        itemset: Itemset,
+        start: float,
+        end: float,
+        limit: int | None = None,
+    ) -> list[FlowRecord]:
+        """Raw flows matching an extracted itemset in a window.
+
+        This is the GUI's "investigate the flows of any returned
+        itemset" action. Flows come back heaviest (packets) first.
+        """
+        matched = [
+            flow
+            for flow in self.store.query(start, end)
+            if itemset.matches(flow)
+        ]
+        matched.sort(key=lambda f: (-f.packets, f.start))
+        if limit is not None:
+            if limit < 1:
+                raise StoreError(f"limit must be >= 1: {limit!r}")
+            matched = matched[:limit]
+        return matched
+
+    # -- ad-hoc queries ----------------------------------------------------------
+
+    def query(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> list[FlowRecord]:
+        """nfdump-style filtered query (delegates to the store)."""
+        return self.store.query(start, end, flow_filter)
+
+    def top_feature_values(
+        self,
+        start: float,
+        end: float,
+        feature: FlowFeature,
+        n: int = 10,
+        by_packets: bool = False,
+    ) -> list[tuple[int, int]]:
+        """Top-N values of a flow feature in a window."""
+        from repro.flows.record import feature_value
+
+        weight = (lambda f: f.packets) if by_packets else None
+        ranked = self.store.top_talkers(
+            start,
+            end,
+            key=lambda f: feature_value(f, feature),
+            n=n,
+            weight=weight,
+        )
+        return [(int(value), count) for value, count in ranked]  # type: ignore[arg-type]

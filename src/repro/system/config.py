@@ -1,0 +1,36 @@
+"""System-level configuration for the assembled extraction system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.extraction.extractor import ExtractionConfig
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment knobs of the Figure-1 system.
+
+    ``baseline_bins`` is how many pre-alarm bins feed the popular-value
+    filter; ``pad_bins`` extends the extraction window symmetrically
+    around the alarm (for detectors with coarse time resolution);
+    ``anonymize`` renders report IPs in the paper's ``X.191.64.165``
+    style — the default for anything leaving the NOC.
+    """
+
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    baseline_bins: int = 3
+    pad_bins: int = 0
+    anonymize: bool = False
+    evidence_sample_size: int = 5
+
+    def __post_init__(self) -> None:
+        if self.baseline_bins < 0:
+            raise ConfigurationError("baseline_bins must be >= 0")
+        if self.pad_bins < 0:
+            raise ConfigurationError("pad_bins must be >= 0")
+        if self.evidence_sample_size < 1:
+            raise ConfigurationError("evidence_sample_size must be >= 1")

@@ -1,0 +1,172 @@
+"""The operator console — the "GUI" of Figure 1, in text form.
+
+"The operator, through a GUI, can compute the frequent itemsets
+associated with an alarm, investigate the flows of any returned itemset,
+and tune the extraction parameters if needed." This module renders that
+workflow as plain-text reports: an alarm queue view, Table-1-style
+itemset tables, raw-flow drill-downs and validation summaries. All
+functions return strings (no printing), so the console is equally usable
+interactively, in examples, and in tests.
+"""
+
+from __future__ import annotations
+
+from repro.detect.base import Alarm
+from repro.extraction.extractor import ExtractionReport
+from repro.extraction.summarize import format_count, table_rows
+from repro.extraction.validate import ValidationVerdict
+from repro.flows.record import FlowRecord, Protocol, TcpFlags
+from repro.flows.addresses import anonymize_ip, int_to_ip
+from repro.system.alarmdb import AlarmDatabase, AlarmStatus
+
+__all__ = [
+    "render_table",
+    "alarm_queue_view",
+    "itemset_table_view",
+    "flow_drilldown_view",
+    "verdict_view",
+    "session_view",
+]
+
+
+def render_table(rows: list[tuple[str, ...]], indent: str = "") -> str:
+    """Align a list of string tuples into a fixed-width text table."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [cell.rjust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(indent + "  ".join(cells).rstrip())
+        if index == 0:
+            lines.append(
+                indent + "  ".join("-" * w for w in widths)
+            )
+    return "\n".join(lines)
+
+
+def _render_ip(address: int, anonymize: bool) -> str:
+    return anonymize_ip(address) if anonymize else int_to_ip(address)
+
+
+def alarm_queue_view(db: AlarmDatabase, anonymize: bool = False) -> str:
+    """The alarm queue: one line per alarm, newest last."""
+    rows: list[tuple[str, ...]] = [
+        ("alarm", "detector", "window", "score", "label", "status", "meta")
+    ]
+    for status in AlarmStatus.ALL:
+        for alarm in db.list_alarms(status=status):
+            meta = ", ".join(
+                item.render(anonymize) for item in alarm.metadata[:3]
+            )
+            if len(alarm.metadata) > 3:
+                meta += f" (+{len(alarm.metadata) - 3})"
+            rows.append(
+                (
+                    alarm.alarm_id,
+                    alarm.detector,
+                    f"[{alarm.start:.0f},{alarm.end:.0f})",
+                    f"{alarm.score:.2f}",
+                    alarm.label or "-",
+                    status,
+                    meta or "-",
+                )
+            )
+    return render_table(rows)
+
+
+def itemset_table_view(
+    report: ExtractionReport, anonymize: bool = False
+) -> str:
+    """Table-1-style view of a report, with class and novelty columns."""
+    base_rows = table_rows(report, anonymize=anonymize)
+    rows = [base_rows[0] + ("class", "origin")]
+    for extracted, row in zip(report.itemsets, base_rows[1:]):
+        rows.append(
+            row
+            + (
+                extracted.classification.kind.value,
+                "detector" if extracted.confirms_detector else "extracted",
+            )
+        )
+    header = (
+        f"Itemsets for alarm {report.alarm.alarm_id} "
+        f"({len(report.candidates.flows)} candidate flows, "
+        f"{report.outcome.iterations} mining iteration(s))"
+    )
+    if len(rows) == 1:
+        return f"{header}\n  (no meaningful itemsets)"
+    return f"{header}\n{render_table(rows, indent='  ')}"
+
+
+def flow_drilldown_view(
+    flows: list[FlowRecord],
+    limit: int = 20,
+    anonymize: bool = False,
+) -> str:
+    """Raw-flow view of a drill-down, heaviest flows first."""
+    rows: list[tuple[str, ...]] = [
+        ("srcIP", "srcPort", "dstIP", "dstPort", "proto", "pkts", "bytes",
+         "flags")
+    ]
+    ordered = sorted(flows, key=lambda f: (-f.packets, f.start))
+    for flow in ordered[:limit]:
+        try:
+            proto = Protocol(flow.proto).name
+        except ValueError:
+            proto = str(flow.proto)
+        rows.append(
+            (
+                _render_ip(flow.src_ip, anonymize),
+                str(flow.src_port),
+                _render_ip(flow.dst_ip, anonymize),
+                str(flow.dst_port),
+                proto,
+                format_count(flow.packets),
+                format_count(flow.bytes),
+                TcpFlags(flow.tcp_flags).compact(),
+            )
+        )
+    text = render_table(rows)
+    hidden = len(flows) - min(limit, len(flows))
+    if hidden > 0:
+        text += f"\n  ... {hidden} more flows"
+    return text
+
+
+def verdict_view(verdict: ValidationVerdict, anonymize: bool = False) -> str:
+    """Validation verdict plus per-itemset evidence lines."""
+    lines = [verdict.summary()]
+    for evidence in verdict.evidence:
+        extracted = evidence.extracted
+        lines.append(
+            f"  {extracted.describe(anonymize)}  "
+            f"evidence: {format_count(evidence.total_flows)} flows, "
+            f"{format_count(evidence.total_packets)} packets, "
+            f"{format_count(evidence.total_bytes)} bytes"
+        )
+        if extracted.classification.rationale:
+            lines.append(f"    why: {extracted.classification.rationale}")
+    return "\n".join(lines)
+
+
+def session_view(
+    alarm: Alarm,
+    report: ExtractionReport,
+    verdict: ValidationVerdict,
+    anonymize: bool = False,
+) -> str:
+    """A full operator session for one alarm, start to finish."""
+    parts = [
+        "=" * 72,
+        alarm.describe(anonymize),
+        "-" * 72,
+        itemset_table_view(report, anonymize=anonymize),
+        "-" * 72,
+        verdict_view(verdict, anonymize=anonymize),
+        "=" * 72,
+    ]
+    return "\n".join(parts)

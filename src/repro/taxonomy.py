@@ -1,0 +1,29 @@
+"""Shared anomaly taxonomy.
+
+One vocabulary of anomaly classes used across the library: the synthetic
+injectors label their ground truth with it, the extraction classifier
+guesses it from itemset evidence, and the evaluation harness compares
+the two. Values follow the anomaly types named in the paper (port and
+network scans, TCP/UDP DoS and DDoS, point-to-point UDP floods) plus the
+benign heavy-hitter classes any backbone sees.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AnomalyKind"]
+
+
+class AnomalyKind(enum.Enum):
+    """Anomaly classes used across the paper's two evaluations."""
+
+    PORT_SCAN = "port scan"
+    NETWORK_SCAN = "network scan"
+    SYN_FLOOD = "TCP SYN flood"
+    UDP_FLOOD = "point-to-point UDP flood"
+    REFLECTOR = "reflector attack"
+    ALPHA_FLOW = "alpha flow"
+    FLASH_CROWD = "flash crowd"
+    STEALTHY = "stealthy"
+    UNKNOWN = "unknown"

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.rpv5"
+    code = main([
+        "synth", "--out", str(path), "--bins", "4", "--fps", "6",
+        "--seed", "3", "--anomaly", "port-scan",
+    ])
+    assert code == 0
+    return path
+
+
+class TestSynth:
+    def test_writes_trace(self, trace_path, capsys):
+        assert trace_path.exists()
+
+    def test_multiple_anomalies(self, tmp_path):
+        path = tmp_path / "multi.rpv5"
+        code = main([
+            "synth", "--out", str(path), "--bins", "4", "--fps", "5",
+            "--anomaly", "udp-flood", "--anomaly", "syn-flood",
+        ])
+        assert code == 0
+        assert path.exists()
+
+
+class TestQuery:
+    def test_filter_and_count(self, trace_path, capsys):
+        code = main([
+            "query", str(trace_path), "--filter", "src port 55548",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flows match" in out
+
+    def test_top_feature(self, trace_path, capsys):
+        code = main([
+            "query", str(trace_path), "--filter", "proto tcp",
+            "--top", "dstPort", "-n", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "value" in out
+
+    def test_bad_filter_is_handled(self, trace_path, capsys):
+        code = main(["query", str(trace_path), "--filter", "bogus 5"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtract:
+    def test_extract_window_with_hints(self, trace_path, capsys):
+        code = main([
+            "extract", str(trace_path), "--start", "600", "--end", "900",
+            "--hint", "srcPort=55548",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#flows" in out
+        assert "55548" in out
+
+    def test_extract_empty_window(self, trace_path, capsys):
+        code = main([
+            "extract", str(trace_path), "--start", "90000",
+            "--end", "90300",
+        ])
+        assert code == 2
+
+    def test_anonymize(self, trace_path, capsys):
+        code = main([
+            "extract", str(trace_path), "--start", "600", "--end", "900",
+            "--hint", "srcPort=55548", "--anonymize",
+        ])
+        assert code == 0
+        assert "203.191.64.165" not in capsys.readouterr().out
+
+
+class TestDetect:
+    def test_too_short_trace(self, trace_path, capsys):
+        code = main(["detect", str(trace_path), "--train-bins", "10"])
+        assert code == 2

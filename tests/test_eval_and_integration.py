@@ -1,0 +1,254 @@
+"""Evaluation-harness tests plus end-to-end integration checks.
+
+The integration tests run the experiments at reduced scale and assert
+the *shape* the paper reports: Table 1's four itemsets, the GEANT
+usefulness statistics, the SWITCH 100% extraction, the dual-support
+flip on UDP floods, and the self-tuning band.
+"""
+
+import pytest
+
+from conftest import make_flow
+from repro.errors import EvaluationError
+from repro.eval.ablations import (
+    run_candidate_ablation,
+    run_dual_support_ablation,
+    run_sampling_ablation,
+    run_selftuning_ablation,
+)
+from repro.eval.campaigns import run_geant_campaign, run_switch_campaign
+from repro.eval.groundtruth import (
+    flow_level_quality,
+    itemset_hits_signature,
+    itemset_hits_truth,
+)
+from repro.eval.harness import run_case, synthesize_alarm
+from repro.eval.metrics import PrecisionRecall, precision_recall
+from repro.eval.table1 import PAPER_TABLE1_FLOWS, run_table1
+from repro.flows.record import FlowFeature
+from repro.mining.items import Item, Itemset
+from repro.synth.anomalies.base import GroundTruth, Signature
+from repro.taxonomy import AnomalyKind
+
+
+class TestMetrics:
+    def test_precision_recall_f1(self):
+        pr = precision_recall({1, 2, 3, 4}, {3, 4, 5, 6})
+        assert pr.precision == 0.5
+        assert pr.recall == 0.5
+        assert pr.f1 == 0.5
+
+    def test_empty_sets(self):
+        pr = precision_recall(set(), set())
+        assert pr.precision == 0.0 and pr.recall == 0.0 and pr.f1 == 0.0
+
+    def test_perfect(self):
+        pr = precision_recall({1, 2}, {1, 2})
+        assert pr.f1 == 1.0
+
+    def test_type_validation(self):
+        with pytest.raises(EvaluationError):
+            precision_recall([1], {1})
+
+    def test_dataclass_fields(self):
+        pr = PrecisionRecall(3, 1, 2)
+        assert pr.precision == 0.75
+        assert pr.recall == 0.6
+
+
+class TestGroundTruthMatching:
+    def _signature(self):
+        return Signature({
+            FlowFeature.SRC_IP: 1,
+            FlowFeature.DST_IP: 2,
+            FlowFeature.SRC_PORT: 55548,
+        })
+
+    def test_refinement_hits(self):
+        itemset = Itemset([
+            Item(FlowFeature.SRC_IP, 1), Item(FlowFeature.DST_IP, 2),
+            Item(FlowFeature.SRC_PORT, 55548), Item(FlowFeature.PROTO, 6),
+        ])
+        assert itemset_hits_signature(itemset, self._signature())
+
+    def test_generalisation_with_two_items_hits(self):
+        itemset = Itemset([
+            Item(FlowFeature.SRC_IP, 1), Item(FlowFeature.DST_IP, 2),
+        ])
+        assert itemset_hits_signature(itemset, self._signature())
+
+    def test_single_shared_item_misses(self):
+        itemset = Itemset([Item(FlowFeature.SRC_IP, 1)])
+        assert not itemset_hits_signature(itemset, self._signature())
+
+    def test_conflicting_value_misses(self):
+        itemset = Itemset([
+            Item(FlowFeature.SRC_IP, 99), Item(FlowFeature.DST_IP, 2),
+            Item(FlowFeature.SRC_PORT, 55548),
+        ])
+        assert not itemset_hits_signature(itemset, self._signature())
+
+    def test_truth_over_multiple_signatures(self):
+        truth = GroundTruth(
+            anomaly_id="x", kind=AnomalyKind.PORT_SCAN, start=0.0, end=1.0,
+            signatures=[
+                self._signature(),
+                Signature({FlowFeature.DST_PORT: 80, FlowFeature.DST_IP: 2}),
+            ],
+        )
+        ddos_itemset = Itemset([
+            Item(FlowFeature.DST_PORT, 80), Item(FlowFeature.DST_IP, 2),
+            Item(FlowFeature.PROTO, 6),
+        ])
+        assert itemset_hits_truth(ddos_itemset, truth)
+
+
+class TestHarness:
+    def test_synthesize_alarm_uses_visible_signatures_only(self):
+        visible = GroundTruth(
+            anomaly_id="v", kind=AnomalyKind.PORT_SCAN, start=0.0, end=300.0,
+            signatures=[Signature({FlowFeature.SRC_IP: 1})],
+        )
+        hidden = GroundTruth(
+            anomaly_id="h", kind=AnomalyKind.SYN_FLOOD, start=0.0, end=300.0,
+            signatures=[Signature({FlowFeature.DST_PORT: 80})],
+            detector_visible=[],
+        )
+        alarm = synthesize_alarm("a", [visible, hidden])
+        hinted = {(m.feature, m.value) for m in alarm.metadata}
+        assert (FlowFeature.SRC_IP, 1) in hinted
+        assert (FlowFeature.DST_PORT, 80) not in hinted
+        assert alarm.start == 0.0 and alarm.end == 300.0
+
+    def test_synthesize_alarm_requires_truths(self):
+        with pytest.raises(ValueError):
+            synthesize_alarm("a", [])
+
+
+@pytest.mark.slow
+class TestTable1Integration:
+    def test_table1_reproduces_all_four_rows(self):
+        result = run_table1(scale=0.05, seed=11, background_fps=15.0)
+        assert result.recovered_count == 4
+        # Measured supports keep the paper's ordering and rough ratios.
+        # (At small scale the two DDoS rows can merge into one itemset,
+        # which doubles the denominator — hence the wide tolerance.)
+        measured = [row.measured_flows for row in result.rows]
+        assert measured[0] > measured[1] > measured[2]
+        paper_ratio = PAPER_TABLE1_FLOWS[0] / PAPER_TABLE1_FLOWS[2]
+        ours_ratio = measured[0] / measured[2]
+        assert 0.4 * paper_ratio <= ours_ratio <= 2.5 * paper_ratio
+        # The flagged scanner confirms the detector; the rest are new.
+        known = [e for e in result.case.report.itemsets
+                 if e.confirms_detector]
+        assert len(known) == 1
+
+
+@pytest.mark.slow
+class TestCampaignIntegration:
+    def test_geant_mini_campaign_shape(self):
+        stats = run_geant_campaign(
+            n_alarms=6, seed=3, background_fps=12.0
+        )
+        assert stats.n == 6
+        assert stats.useful_fraction >= 0.8
+        assert stats.mean_recall > 0.7
+        by_kind = stats.by_kind()
+        assert all(hits == total for hits, total in by_kind.values())
+
+    def test_switch_mini_campaign_shape(self):
+        stats = run_switch_campaign(
+            n_cases=3, seed=5, background_fps=8.0, training_bins=6
+        )
+        assert stats.n == 3
+        assert stats.detected_count == 3
+        assert stats.extracted_count == 3
+        assert stats.mean_false_positive_itemsets <= 2.0
+
+
+@pytest.mark.slow
+class TestAblationIntegration:
+    def test_dual_support_flips_udp_floods(self):
+        rows = run_dual_support_ablation(
+            packet_sweep=(1_000_000,), background_fps=10.0
+        )
+        assert all(not r.flow_only_hit for r in rows)
+        assert all(r.dual_hit for r in rows)
+
+    def test_selftuning_stays_in_band(self):
+        rows = run_selftuning_ablation(
+            intensity_sweep=(500, 20_000), background_fps=10.0
+        )
+        assert all(r.tuned_in_band for r in rows)
+        # Fixed thresholds leave the band somewhere in the sweep.
+        fixed_ok = {
+            share: all(
+                2 <= row.fixed_counts[share] <= 15 for row in rows
+            )
+            for share in rows[0].fixed_counts
+        }
+        assert not all(fixed_ok.values())
+
+    def test_sampling_keeps_anomalies_recoverable(self):
+        rows = run_sampling_ablation(rates=(1, 100), background_fps=10.0)
+        assert all(r.hit_scan and r.hit_flood for r in rows)
+        assert rows[0].candidate_flows > rows[1].candidate_flows
+
+    def test_candidate_prefilter_reduces_set(self):
+        rows = run_candidate_ablation(background_fps=20.0, scan_flows=5_000)
+        by_mode = {r.mode: r for r in rows}
+        assert by_mode["union"].candidate_flows <= \
+            by_mode["interval"].candidate_flows
+        assert by_mode["union"].recall >= 0.85
+
+
+@pytest.mark.slow
+class TestDetectorToExtractionEndToEnd:
+    def test_full_figure1_loop(self, topology):
+        """Detector -> alarm DB -> extraction -> verdict, on one trace."""
+        from repro.detect.netreflex import NetReflexDetector
+        from repro.synth.anomalies import PortScan, SynFlood
+        from repro.synth.background import BackgroundConfig
+        from repro.synth.scenario import Scenario
+        from repro.system.pipeline import ExtractionSystem
+
+        train = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=8.0),
+            bin_count=12,
+        ).build(seed=50).trace
+
+        scenario = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=8.0),
+            bin_count=6,
+        )
+        target = topology.host_address(topology.pops[9], 3)
+        scenario.add(PortScan("scan", 0xCB000001, target, 3000,
+                              src_port=55548), 4)
+        scenario.add(SynFlood("ddos", target, 80, flow_count=700,
+                              fixed_src_port=3072), 4)
+        labeled = scenario.build(seed=51)
+
+        detector = NetReflexDetector()
+        detector.train(train)
+        system = ExtractionSystem.from_trace(labeled.trace)
+        alarms = system.run_detector(detector, labeled.trace)
+        scan_alarms = [a for a in alarms if a.start == 1200.0]
+        assert scan_alarms
+
+        result = system.validate(scan_alarms[0])
+        assert result.verdict.useful
+        kinds = result.report.kinds
+        assert AnomalyKind.PORT_SCAN in kinds
+        assert AnomalyKind.SYN_FLOOD in kinds
+        # The DDoS was not in the detector meta-data: it must be "new".
+        assert result.report.additional_evidence
+
+        quality = flow_level_quality(
+            result.report,
+            labeled.truths,
+            labeled.trace.between(1200.0, 1500.0),
+        )
+        assert quality.recall > 0.95
+        assert quality.precision > 0.8

@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run green.
+
+Examples are the library's public face; each is executed in-process
+(stdout captured) and checked for its expected headline output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    argv = sys.argv
+    sys.argv = [str(script)]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "55548" in out
+    assert "substantiated" in out
+
+
+@pytest.mark.slow
+def test_udp_flood_packet_support(capsys):
+    out = _run_example("udp_flood_packet_support.py", capsys)
+    # Dual support names the flood endpoints; the section order is
+    # flow-only first, dual second.
+    assert "198.18.52.7" in out
+    flow_only_section = out.split("extended Apriori")[0]
+    assert "198.18.52.7" not in flow_only_section.split("==")[-1]
+
+
+@pytest.mark.slow
+def test_trace_forensics(capsys):
+    out = _run_example("trace_forensics.py", capsys)
+    assert "NetFlow v5" in out
+    assert "association rules" in out
+    assert "dstPort=445" in out
+
+
+@pytest.mark.slow
+def test_geant_noc_workflow(capsys):
+    out = _run_example("geant_noc_workflow.py", capsys)
+    assert "alarm queue" in out
+    assert "validated" in out
+    # Anonymised: the raw scanner address must not appear anywhere.
+    assert "203.191.64.165" not in out

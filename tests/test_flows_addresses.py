@@ -1,0 +1,181 @@
+"""Tests for repro.flows.addresses."""
+
+import random
+
+import pytest
+
+from repro.errors import AddressError
+from repro.flows.addresses import (
+    MAX_IPV4,
+    AddressPlan,
+    Prefix,
+    anonymize_ip,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip_int,
+)
+
+
+class TestIpConversions:
+    def test_roundtrip_basic(self):
+        assert int_to_ip(ip_to_int("10.0.0.1")) == "10.0.0.1"
+
+    def test_zero_and_max(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == MAX_IPV4
+        assert int_to_ip(MAX_IPV4) == "255.255.255.255"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "", "1..2.3"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+        with pytest.raises(AddressError):
+            int_to_ip(MAX_IPV4 + 1)
+
+    def test_is_valid_ip_int(self):
+        assert is_valid_ip_int(0)
+        assert is_valid_ip_int(MAX_IPV4)
+        assert not is_valid_ip_int(-1)
+        assert not is_valid_ip_int("10.0.0.1")
+        assert not is_valid_ip_int(None)
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert str(prefix) == "10.1.0.0/16"
+        assert prefix.length == 16
+        assert prefix.size == 65536
+
+    def test_canonicalises_host_bits(self):
+        assert Prefix.parse("10.1.2.3/16") == Prefix.parse("10.1.0.0/16")
+
+    def test_bare_address_is_host_prefix(self):
+        prefix = Prefix.parse("192.168.1.1")
+        assert prefix.length == 32
+        assert prefix.size == 1
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert ip_to_int("10.255.0.1") in prefix
+        assert ip_to_int("11.0.0.1") not in prefix
+        assert "not an int" not in prefix
+
+    def test_contains_prefix(self):
+        parent = Prefix.parse("10.0.0.0/8")
+        assert parent.contains_prefix(Prefix.parse("10.1.0.0/16"))
+        assert not parent.contains_prefix(Prefix.parse("11.0.0.0/16"))
+        assert not Prefix.parse("10.1.0.0/16").contains_prefix(parent)
+
+    def test_first_last(self):
+        prefix = Prefix.parse("192.168.4.0/24")
+        assert int_to_ip(prefix.first) == "192.168.4.0"
+        assert int_to_ip(prefix.last) == "192.168.4.255"
+
+    def test_address_at(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert int_to_ip(prefix.address_at(5)) == "10.0.0.5"
+        with pytest.raises(AddressError):
+            prefix.address_at(256)
+        with pytest.raises(AddressError):
+            prefix.address_at(-1)
+
+    def test_subnets(self):
+        subnets = list(Prefix.parse("10.0.0.0/14").subnets(16))
+        assert len(subnets) == 4
+        assert str(subnets[0]) == "10.0.0.0/16"
+        assert str(subnets[3]) == "10.3.0.0/16"
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/16").subnets(8))
+
+    def test_random_address_within(self):
+        prefix = Prefix.parse("172.16.0.0/12")
+        rng = random.Random(1)
+        for _ in range(50):
+            assert prefix.random_address(rng) in prefix
+
+    def test_zero_length_prefix_covers_everything(self):
+        prefix = Prefix.parse("0.0.0.0/0")
+        assert prefix.mask == 0
+        assert ip_to_int("255.1.2.3") in prefix
+
+    def test_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix(0, 33)
+
+    def test_hosts_iteration(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        assert list(prefix.hosts()) == [prefix.first + i for i in range(4)]
+
+
+class TestAnonymize:
+    def test_deterministic(self):
+        addr = ip_to_int("203.191.64.165")
+        assert anonymize_ip(addr) == anonymize_ip(addr)
+
+    def test_keeps_last_three_octets(self):
+        addr = ip_to_int("203.191.64.165")
+        assert anonymize_ip(addr).endswith(".191.64.165")
+
+    def test_first_octet_is_letter(self):
+        addr = ip_to_int("203.191.64.165")
+        assert anonymize_ip(addr)[0].isalpha()
+
+    def test_salt_changes_letter(self):
+        addr = ip_to_int("10.1.2.3")
+        letters = {anonymize_ip(addr, salt=s)[0] for s in range(5)}
+        assert len(letters) > 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(AddressError):
+            anonymize_ip(-5)
+
+
+class TestAddressPlan:
+    def test_assigns_disjoint_prefixes(self):
+        plan = AddressPlan(Prefix.parse("10.0.0.0/8"), 18)
+        prefixes = list(plan)
+        assert len(prefixes) == 18
+        seen = set()
+        for prefix in prefixes:
+            assert prefix.length == 16
+            assert prefix.network not in seen
+            seen.add(prefix.network)
+
+    def test_pop_of_roundtrip(self):
+        plan = AddressPlan(Prefix.parse("10.0.0.0/8"), 18)
+        for index in range(18):
+            address = plan.prefix_for(index).address_at(77)
+            assert plan.pop_of(address) == index
+
+    def test_pop_of_external_is_none(self):
+        plan = AddressPlan(Prefix.parse("10.0.0.0/8"), 4)
+        assert plan.pop_of(ip_to_int("192.168.0.1")) is None
+
+    def test_pop_of_unassigned_subnet_is_none(self):
+        plan = AddressPlan(Prefix.parse("10.0.0.0/8"), 4)
+        # 10.200.0.0 is inside the parent but beyond the 4 assigned PoPs.
+        assert plan.pop_of(ip_to_int("10.200.0.1")) is None
+
+    def test_rejects_overflow(self):
+        with pytest.raises(AddressError):
+            AddressPlan(Prefix.parse("10.0.0.0/8"), 300, pop_length=16)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(AddressError):
+            AddressPlan(Prefix.parse("10.0.0.0/16"), 2, pop_length=16)
+        with pytest.raises(AddressError):
+            AddressPlan(Prefix.parse("10.0.0.0/8"), 0)
+
+    def test_prefix_for_bounds(self):
+        plan = AddressPlan(Prefix.parse("10.0.0.0/8"), 3)
+        with pytest.raises(AddressError):
+            plan.prefix_for(3)

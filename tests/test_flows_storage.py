@@ -1,0 +1,369 @@
+"""Tests for trace, store, sampling, aggregate, codec and IO modules."""
+
+import io
+import math
+import random
+
+import pytest
+
+from conftest import make_flow
+from repro.errors import CodecError, SamplingError, StoreError
+from repro.flows.aggregate import (
+    all_feature_histograms,
+    distinct_counts,
+    feature_histogram,
+    top_n,
+    traffic_matrix,
+)
+from repro.flows.flowio import csv_roundtrip, read_binary, read_csv, write_binary, write_csv
+from repro.flows.netflow_v5 import (
+    MAX_RECORDS_PER_PACKET,
+    decode_packet,
+    decode_stream,
+    encode_packet,
+    encode_stream,
+)
+from repro.flows.record import FlowFeature, Protocol
+from repro.flows.sampling import (
+    DeterministicSampler,
+    RandomSampler,
+    renormalize,
+    sample_trace,
+)
+from repro.flows.store import FlowStore
+from repro.flows.trace import FlowTrace
+
+
+def _flows(n=10, spacing=30.0):
+    return [
+        make_flow(sport=1000 + i, start=i * spacing, end=i * spacing + 1)
+        for i in range(n)
+    ]
+
+
+class TestFlowTrace:
+    def test_sorted_and_len(self):
+        flows = list(reversed(_flows(5)))
+        trace = FlowTrace(flows)
+        assert len(trace) == 5
+        starts = [f.start for f in trace]
+        assert starts == sorted(starts)
+
+    def test_between_half_open(self):
+        trace = FlowTrace(_flows(10))
+        selected = trace.between(30.0, 90.0)
+        assert [f.start for f in selected] == [30.0, 60.0]
+
+    def test_between_rejects_inverted(self):
+        with pytest.raises(StoreError):
+            FlowTrace(_flows(3)).between(10.0, 5.0)
+
+    def test_bins(self):
+        trace = FlowTrace(_flows(10), bin_seconds=60.0, origin=0.0)
+        assert trace.bin_count == 5
+        assert [len(b) for _, b in trace.bins()] == [2] * 5
+
+    def test_bin_interval_and_index(self):
+        trace = FlowTrace(_flows(4), bin_seconds=60.0, origin=0.0)
+        assert trace.bin_interval(2) == (120.0, 180.0)
+        assert trace.bin_index(125.0) == 2
+        assert trace.bin_index(-1.0) == -1
+
+    def test_extend_keeps_order(self):
+        trace = FlowTrace(_flows(3))
+        trace.extend([make_flow(start=15.0, end=16.0, sport=9)])
+        starts = [f.start for f in trace]
+        assert starts == sorted(starts)
+        assert len(trace) == 4
+
+    def test_stats(self):
+        trace = FlowTrace(_flows(4))
+        stats = trace.stats()
+        assert stats.flows == 4
+        assert stats.packets == 40
+        assert stats.start == 0.0
+
+    def test_stats_window(self):
+        trace = FlowTrace(_flows(4))
+        stats = trace.stats(start=30.0, end=90.0)
+        assert stats.flows == 2
+
+    def test_where(self):
+        trace = FlowTrace(_flows(6))
+        filtered = trace.where(lambda f: f.src_port % 2 == 0)
+        assert len(filtered) == 3
+        assert filtered.bin_seconds == trace.bin_seconds
+
+    def test_empty_trace(self):
+        trace = FlowTrace()
+        assert not trace
+        assert trace.bin_count == 0
+        assert trace.stats().flows == 0
+
+    def test_rejects_bad_bin_seconds(self):
+        with pytest.raises(StoreError):
+            FlowTrace(bin_seconds=0)
+
+    def test_copy_is_independent(self):
+        trace = FlowTrace(_flows(2))
+        clone = trace.copy()
+        clone.extend([make_flow(start=500.0, end=501.0)])
+        assert len(trace) == 2 and len(clone) == 3
+
+
+class TestFlowStore:
+    def test_insert_and_query(self):
+        store = FlowStore(slice_seconds=60.0)
+        store.insert_many(_flows(10))
+        assert len(store) == 10
+        result = store.query(30.0, 90.0)
+        assert [f.start for f in result] == [30.0, 60.0]
+
+    def test_query_with_filter(self):
+        store = FlowStore(slice_seconds=60.0)
+        store.insert_many(_flows(10))
+        result = store.query(0.0, 300.0, "src port 1003")
+        assert len(result) == 1
+
+    def test_count(self):
+        store = FlowStore(slice_seconds=60.0)
+        store.insert_many(_flows(10))
+        stats = store.count(0.0, 300.0)
+        assert stats.flows == 10
+        stats = store.count(0.0, 300.0, "src port > 1004")
+        assert stats.flows == 5
+
+    def test_top_talkers(self):
+        store = FlowStore(slice_seconds=60.0)
+        store.insert_many(
+            [make_flow(dport=80)] * 3 + [make_flow(dport=53)]
+        )
+        ranked = store.top_talkers(
+            0.0, 60.0, key=lambda f: f.dst_port, n=2
+        )
+        assert ranked[0] == (80, 3)
+
+    def test_slices_metadata(self):
+        store = FlowStore(slice_seconds=60.0)
+        store.insert_many(_flows(4))  # starts at 0, 30, 60, 90
+        infos = store.slices()
+        assert [s.flows for s in infos] == [2, 2]
+        assert infos[0].start == 0.0
+        assert infos[0].packets == 20
+
+    def test_expire(self):
+        store = FlowStore(slice_seconds=60.0)
+        store.insert_many(_flows(10))
+        removed = store.expire_before(120.0)
+        assert removed == 4
+        assert len(store) == 6
+        assert store.query(0.0, 120.0) == []
+
+    def test_from_trace_roundtrip(self):
+        trace = FlowTrace(_flows(6), bin_seconds=60.0)
+        store = FlowStore.from_trace(trace)
+        back = store.to_trace()
+        assert len(back) == 6
+        assert sorted(f.key for f in back) == sorted(f.key for f in trace)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(StoreError):
+            FlowStore().query(10.0, 0.0)
+
+    def test_negative_time_slices(self):
+        store = FlowStore(slice_seconds=60.0, origin=0.0)
+        store.insert(make_flow(start=-30.0, end=-29.0))
+        assert store.query(-60.0, 0.0)
+
+
+class TestSampling:
+    def test_rate_one_is_identity(self):
+        flows = _flows(5)
+        assert list(RandomSampler(1).sample(flows)) == flows
+        assert list(DeterministicSampler(1).sample(flows)) == flows
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SamplingError):
+            RandomSampler(0)
+        with pytest.raises(SamplingError):
+            DeterministicSampler(-3)
+
+    def test_deterministic_keeps_every_nth_packet(self):
+        sampler = DeterministicSampler(10)
+        flow = make_flow(packets=100, bytes_=10000)
+        sampled = sampler.sample_flow(flow)
+        assert sampled is not None
+        assert sampled.packets == 10
+        assert sampled.sampling_rate == 10
+
+    def test_deterministic_total_conservation(self):
+        # Systematic sampling keeps exactly floor(total/N) packets overall.
+        sampler = DeterministicSampler(7)
+        flows = [make_flow(packets=13, bytes_=130) for _ in range(100)]
+        kept = sum(f.packets for f in sampler.sample(flows))
+        assert kept == (13 * 100) // 7
+
+    def test_small_flows_vanish(self):
+        flows = [make_flow(packets=1, bytes_=40) for _ in range(1000)]
+        survivors = sample_trace(flows, 100, seed=1)
+        # ~1% survival for single-packet flows.
+        assert 0 < len(survivors) < 50
+
+    def test_random_sampler_unbiased(self):
+        rate = 10
+        flows = [make_flow(packets=50, bytes_=5000) for _ in range(400)]
+        survivors = sample_trace(flows, rate, seed=3)
+        estimate = sum(f.packets * f.sampling_rate for f in survivors)
+        truth = sum(f.packets for f in flows)
+        assert abs(estimate - truth) / truth < 0.1
+
+    def test_large_count_normal_approximation(self):
+        sampler = RandomSampler(100, seed=5)
+        kept = sampler.sampled_packets(1_000_000)
+        assert abs(kept - 10_000) < 1_000
+
+    def test_renormalize(self):
+        flow = make_flow(packets=3, bytes_=300, sampling=100)
+        fixed = renormalize(flow)
+        assert fixed.packets == 300
+        assert fixed.bytes == 30000
+        assert fixed.sampling_rate == 1
+        assert renormalize(fixed) == fixed
+
+    def test_sampling_compounds(self):
+        flow = make_flow(packets=10_000, bytes_=1_000_000, sampling=10)
+        sampled = RandomSampler(10, seed=2).sample_flow(flow)
+        assert sampled is not None
+        assert sampled.sampling_rate == 100
+
+
+class TestAggregate:
+    def test_feature_histogram_weightings(self):
+        flows = [make_flow(dport=80, packets=5), make_flow(dport=80, packets=7),
+                 make_flow(dport=53, packets=1)]
+        by_flows = feature_histogram(flows, FlowFeature.DST_PORT)
+        assert by_flows[80] == 2
+        by_packets = feature_histogram(flows, FlowFeature.DST_PORT, "packets")
+        assert by_packets[80] == 12
+
+    def test_all_feature_histograms_consistent(self):
+        flows = [make_flow(), make_flow(dport=53)]
+        merged = all_feature_histograms(flows)
+        for feature in FlowFeature:
+            assert merged[feature] == feature_histogram(flows, feature)
+
+    def test_top_n(self):
+        flows = [make_flow(dport=80)] * 3 + [make_flow(dport=53)] * 2
+        ranked = top_n(flows, FlowFeature.DST_PORT, n=1)
+        assert ranked == [(80, 3)]
+
+    def test_distinct_counts(self):
+        flows = [make_flow(dport=p) for p in (80, 81, 82)]
+        counts = distinct_counts(flows)
+        assert counts[FlowFeature.DST_PORT] == 3
+        assert counts[FlowFeature.SRC_IP] == 1
+
+    def test_traffic_matrix(self):
+        flows = [make_flow(router=0), make_flow(router=1)]
+        matrix = traffic_matrix(
+            flows, pop_of=lambda ip: 0 if ip == flows[0].src_ip else None,
+            pop_count=2,
+        )
+        # src maps to pop 0, dst to external (=2).
+        assert (0, 2) in matrix
+        assert matrix[(0, 2)].flows == 2
+
+
+class TestNetflowV5:
+    def test_roundtrip_single(self):
+        flow = make_flow(start=10.0, end=11.0)
+        packet = encode_packet([flow], boot_time=0.0)
+        header, decoded = decode_packet(packet, boot_time=0.0)
+        assert header.count == 1
+        assert decoded[0].key == flow.key
+        assert decoded[0].packets == flow.packets
+        assert abs(decoded[0].start - flow.start) < 0.002
+
+    def test_sampling_header_propagates(self):
+        flow = make_flow()
+        packet = encode_packet([flow], sampling_rate=100)
+        header, decoded = decode_packet(packet)
+        assert header.sampling_interval == 100
+        assert decoded[0].sampling_rate == 100
+
+    def test_rejects_empty_and_oversized(self):
+        with pytest.raises(CodecError):
+            encode_packet([])
+        with pytest.raises(CodecError):
+            encode_packet([make_flow()] * (MAX_RECORDS_PER_PACKET + 1))
+
+    def test_rejects_flow_before_boot(self):
+        with pytest.raises(CodecError):
+            encode_packet([make_flow(start=5.0, end=6.0)], boot_time=10.0)
+
+    def test_rejects_truncated(self):
+        packet = encode_packet([make_flow()])
+        with pytest.raises(CodecError):
+            decode_packet(packet[:10])
+        with pytest.raises(CodecError):
+            decode_packet(packet[:-5])
+
+    def test_rejects_wrong_version(self):
+        packet = bytearray(encode_packet([make_flow()]))
+        packet[0:2] = (0).to_bytes(2, "big")
+        with pytest.raises(CodecError):
+            decode_packet(bytes(packet))
+
+    def test_stream_roundtrip_and_sequence(self):
+        flows = [make_flow(sport=1000 + i, start=float(i), end=float(i) + 1)
+                 for i in range(75)]
+        packets = list(encode_stream(flows))
+        assert len(packets) == 3  # 30 + 30 + 15
+        decoded = list(decode_stream(packets))
+        assert [f.key for f in decoded] == [f.key for f in flows]
+
+    def test_stream_detects_sequence_gap(self):
+        flows = [make_flow(sport=1000 + i, start=float(i), end=float(i) + 1)
+                 for i in range(75)]
+        packets = list(encode_stream(flows))
+        with pytest.raises(CodecError):
+            list(decode_stream([packets[0], packets[2]]))
+
+
+class TestFlowIO:
+    def test_csv_roundtrip(self):
+        flows = [make_flow(sport=i, start=float(i), end=i + 0.5)
+                 for i in range(1, 20)]
+        assert csv_roundtrip(flows) == flows
+
+    def test_csv_rejects_bad_header(self):
+        handle = io.StringIO("a,b,c\n1,2,3\n")
+        with pytest.raises(CodecError):
+            list(read_csv(handle))
+
+    def test_csv_rejects_bad_row(self):
+        buffer = io.StringIO()
+        write_csv([make_flow()], buffer)
+        text = buffer.getvalue() + "only,three,fields\n"
+        with pytest.raises(CodecError):
+            list(read_csv(io.StringIO(text)))
+
+    def test_binary_roundtrip(self, tmp_path):
+        flows = [make_flow(sport=1000 + i, start=float(i), end=float(i) + 1)
+                 for i in range(65)]
+        path = tmp_path / "trace.rpv5"
+        packets_written = write_binary(flows, path, boot_time=0.0)
+        assert packets_written == 3
+        decoded = list(read_binary(path))
+        assert [f.key for f in decoded] == [f.key for f in flows]
+
+    def test_binary_rejects_corruption(self, tmp_path):
+        path = tmp_path / "trace.rpv5"
+        write_binary([make_flow()], path)
+        data = path.read_bytes()
+        (tmp_path / "bad.rpv5").write_bytes(b"XXXX" + data[4:])
+        with pytest.raises(CodecError):
+            list(read_binary(tmp_path / "bad.rpv5"))
+        (tmp_path / "trunc.rpv5").write_bytes(data[:-10])
+        with pytest.raises(CodecError):
+            list(read_binary(tmp_path / "trunc.rpv5"))

@@ -1,0 +1,330 @@
+"""Tests for the synthetic-trace package."""
+
+import random
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.flows.record import FlowFeature, Protocol, TcpFlags
+from repro.synth.anomalies import (
+    AlphaFlow,
+    FlashCrowd,
+    NetworkScan,
+    PortScan,
+    ReflectorAttack,
+    StealthyAnomaly,
+    SynFlood,
+    UdpFlood,
+)
+from repro.synth.background import BackgroundConfig, BackgroundGenerator, ServiceMix
+from repro.synth.rand import (
+    ZipfSampler,
+    bounded_pareto_int,
+    lognormal_duration,
+    pick_weighted,
+)
+from repro.synth.scenario import Injection, Scenario
+from repro.synth.topology import GEANT_POP_NAMES, Topology
+
+
+class TestRand:
+    def test_zipf_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, alpha=1.1)
+        total = sum(sampler.probability(r) for r in range(20))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_zipf_rank_zero_most_likely(self):
+        sampler = ZipfSampler(50, alpha=1.2)
+        rng = random.Random(0)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        assert draws.count(0) > draws.count(10) > 0
+        assert all(0 <= d < 50 for d in draws)
+
+    def test_zipf_validation(self):
+        with pytest.raises(SynthesisError):
+            ZipfSampler(0)
+        with pytest.raises(SynthesisError):
+            ZipfSampler(5, alpha=-1)
+        with pytest.raises(SynthesisError):
+            ZipfSampler(5).probability(5)
+
+    def test_bounded_pareto_in_bounds(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            value = bounded_pareto_int(rng, 1, 1000)
+            assert 1 <= value <= 1000
+
+    def test_bounded_pareto_heavy_tail(self):
+        rng = random.Random(2)
+        draws = [bounded_pareto_int(rng, 1, 10_000, alpha=1.2)
+                 for _ in range(3000)]
+        assert sorted(draws)[len(draws) // 2] < 10  # median tiny
+        assert max(draws) > 500  # but elephants exist
+
+    def test_bounded_pareto_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(SynthesisError):
+            bounded_pareto_int(rng, 0, 10)
+        with pytest.raises(SynthesisError):
+            bounded_pareto_int(rng, 10, 5)
+        with pytest.raises(SynthesisError):
+            bounded_pareto_int(rng, 1, 10, alpha=0)
+
+    def test_lognormal_capped(self):
+        rng = random.Random(3)
+        assert all(
+            lognormal_duration(rng, maximum=60.0) <= 60.0
+            for _ in range(200)
+        )
+
+    def test_pick_weighted(self):
+        rng = random.Random(4)
+        assert pick_weighted(rng, ["a"], [1.0]) == "a"
+        with pytest.raises(SynthesisError):
+            pick_weighted(rng, [], [])
+
+
+class TestTopology:
+    def test_default_has_18_pops(self, topology):
+        assert topology.pop_count == len(GEANT_POP_NAMES) == 18
+
+    def test_prefixes_disjoint_and_owned(self, topology):
+        for pop in topology.pops:
+            address = topology.host_address(pop, 0)
+            assert topology.pop_of(address) == pop.index
+            assert topology.is_internal(address)
+
+    def test_external_not_internal(self, topology):
+        rng = random.Random(5)
+        address = topology.random_external_host(rng)
+        assert topology.pop_of(address) is None
+        assert not topology.is_internal(address)
+
+    def test_pop_by_name(self, topology):
+        assert topology.pop_by_name("zurich").name == "Zurich"
+        with pytest.raises(SynthesisError):
+            topology.pop_by_name("Atlantis")
+
+    def test_host_rank_bounds(self, topology):
+        with pytest.raises(SynthesisError):
+            topology.host_address(topology.pops[0], topology.hosts_per_pop)
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            Topology(pop_names=())
+        with pytest.raises(SynthesisError):
+            Topology(hosts_per_pop=0)
+
+
+class TestBackground:
+    def test_deterministic(self, topology):
+        generator = BackgroundGenerator(topology)
+        a = list(generator.generate(0.0, 120.0, seed=9))
+        b = list(generator.generate(0.0, 120.0, seed=9))
+        assert a == b
+        c = list(generator.generate(0.0, 120.0, seed=10))
+        assert a != c
+
+    def test_flows_within_interval(self, topology):
+        generator = BackgroundGenerator(topology)
+        flows = list(generator.generate(100.0, 400.0, seed=1))
+        assert flows
+        assert all(100.0 <= f.start < 400.0 for f in flows)
+
+    def test_rate_scales_volume(self, topology):
+        slow = BackgroundGenerator(
+            topology, BackgroundConfig(flows_per_second=5.0)
+        )
+        fast = BackgroundGenerator(
+            topology, BackgroundConfig(flows_per_second=50.0)
+        )
+        n_slow = len(list(slow.generate(0.0, 300.0, seed=1)))
+        n_fast = len(list(fast.generate(0.0, 300.0, seed=1)))
+        assert n_fast > 5 * n_slow
+
+    def test_service_ports_dominate(self, topology):
+        generator = BackgroundGenerator(topology)
+        flows = list(generator.generate(0.0, 300.0, seed=2))
+        mix_ports = set(ServiceMix().ports)
+        service_flows = sum(
+            1 for f in flows
+            if f.dst_port in mix_ports or f.src_port in mix_ports
+        )
+        assert service_flows / len(flows) > 0.9
+
+    def test_config_validation(self):
+        with pytest.raises(SynthesisError):
+            BackgroundConfig(flows_per_second=0)
+        with pytest.raises(SynthesisError):
+            BackgroundConfig(internal_fraction=0.8, inbound_fraction=0.5)
+        with pytest.raises(SynthesisError):
+            BackgroundConfig(mean_packet_size=20)
+
+    def test_empty_interval_rejected(self, topology):
+        generator = BackgroundGenerator(topology)
+        with pytest.raises(SynthesisError):
+            list(generator.generate(10.0, 10.0, seed=0))
+
+
+class TestInjectors:
+    def _run(self, injector, start=0.0, end=300.0, seed=1):
+        rng = random.Random(seed)
+        return injector.inject(start, end, rng)
+
+    def test_port_scan_shape(self):
+        flows, truth = self._run(
+            PortScan("s", 1, 2, flow_count=500, src_port=55548)
+        )
+        assert len(flows) == 500
+        assert truth.flow_count == 500
+        assert all(f.src_ip == 1 and f.dst_ip == 2 for f in flows)
+        assert all(f.src_port == 55548 for f in flows)
+        assert len({f.dst_port for f in flows}) > 400
+        assert all(f.tcp_flags == int(TcpFlags.SYN) for f in flows)
+        assert all(truth.matches(f) for f in flows)
+        assert truth.signatures[0].items[FlowFeature.SRC_PORT] == 55548
+
+    def test_port_scan_random_src_port_weakens_signature(self):
+        _, truth = self._run(PortScan("s", 1, 2, 100, src_port=None))
+        assert FlowFeature.SRC_PORT not in truth.signatures[0].items
+
+    def test_network_scan_shape(self):
+        flows, truth = self._run(
+            NetworkScan("n", 9, target_network=0x0A000000,
+                        target_count=300, dst_port=445)
+        )
+        assert len({f.dst_ip for f in flows}) == 300
+        assert all(f.dst_port == 445 for f in flows)
+        assert all(truth.matches(f) for f in flows)
+
+    def test_syn_flood_shape(self):
+        flows, truth = self._run(
+            SynFlood("d", target=7, dst_port=80, flow_count=1000,
+                     source_count=50)
+        )
+        assert len(flows) == 1000
+        assert len({f.src_ip for f in flows}) <= 50
+        assert all(f.dst_ip == 7 and f.dst_port == 80 for f in flows)
+        assert all(truth.matches(f) for f in flows)
+
+    def test_udp_flood_conserves_packets(self):
+        flows, truth = self._run(
+            UdpFlood("u", 1, 2, packets_total=100_000, flow_count=10)
+        )
+        assert len(flows) == 10
+        assert sum(f.packets for f in flows) == 100_000
+        assert all(f.proto == Protocol.UDP for f in flows)
+        assert all(truth.matches(f) for f in flows)
+
+    def test_udp_flood_validation(self):
+        with pytest.raises(SynthesisError):
+            UdpFlood("u", 1, 2, packets_total=5, flow_count=10)
+
+    def test_reflector_shape(self):
+        flows, truth = self._run(
+            ReflectorAttack("r", victim=5, reflector_count=40,
+                            flow_count=400, service_port=53)
+        )
+        assert all(f.src_port == 53 and f.dst_ip == 5 for f in flows)
+        assert all(truth.matches(f) for f in flows)
+
+    def test_alpha_flow_shape(self):
+        flows, truth = self._run(
+            AlphaFlow("a", 1, 2, packets_total=1_000_000, flow_count=2)
+        )
+        assert len(flows) == 2
+        assert sum(f.packets for f in flows) == 1_000_000
+        assert all(truth.matches(f) for f in flows)
+
+    def test_flash_crowd_shape(self):
+        flows, truth = self._run(
+            FlashCrowd("f", server=3, client_count=100, flow_count=500)
+        )
+        assert all(f.dst_ip == 3 and f.dst_port == 80 for f in flows)
+        assert all(truth.matches(f) for f in flows)
+
+    def test_stealthy_has_no_detector_view(self):
+        flows, truth = self._run(StealthyAnomaly("x", flow_count=50))
+        assert len(flows) == 50
+        assert truth.detector_visible == []
+
+    def test_interval_validation(self):
+        with pytest.raises(SynthesisError):
+            self._run(PortScan("s", 1, 2, 10), start=10.0, end=10.0)
+
+    def test_injectors_deterministic(self):
+        a, _ = self._run(SynFlood("d", 7, 80, 100), seed=5)
+        b, _ = self._run(SynFlood("d", 7, 80, 100), seed=5)
+        assert a == b
+
+
+class TestScenario:
+    def test_build_merges_and_labels(self, topology):
+        scenario = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=5.0),
+            bin_count=4,
+        )
+        scenario.add(PortScan("scan", 1, 2, 300), 2)
+        labeled = scenario.build(seed=1)
+        truth = labeled.truth_by_id("scan")
+        assert truth.flow_count == 300
+        assert len(labeled.anomalous_flows(truth)) == 300
+        assert len(labeled.trace) > 300
+
+    def test_unknown_truth_id(self, topology):
+        scenario = Scenario(topology=topology, bin_count=2)
+        labeled = scenario.build(seed=0)
+        with pytest.raises(SynthesisError):
+            labeled.truth_by_id("missing")
+
+    def test_injection_window_validation(self, topology):
+        scenario = Scenario(topology=topology, bin_count=2)
+        with pytest.raises(SynthesisError):
+            Injection(PortScan("s", 1, 2, 10), 2, 2)
+        scenario.add(PortScan("s", 1, 2, 10), 5)
+        with pytest.raises(SynthesisError):
+            scenario.build(seed=0)
+
+    def test_sampling_thins_trace(self, topology):
+        scenario = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=20.0),
+            bin_count=2,
+        )
+        full = scenario.build(seed=3)
+        sampled = scenario.build(seed=3, sampling_rate=100)
+        assert len(sampled.trace) < len(full.trace) / 10
+        assert sampled.sampling_rate == 100
+
+    def test_adding_injection_does_not_change_background(self, topology):
+        base = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=5.0),
+            bin_count=3,
+        )
+        plain = base.build(seed=4)
+        with_scan = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=5.0),
+            bin_count=3,
+        )
+        with_scan.add(PortScan("scan", 1, 2, 50), 1)
+        labeled = with_scan.build(seed=4)
+        scan_truth = labeled.truth_by_id("scan")
+        background_only = [
+            f for f in labeled.trace if not scan_truth.matches(f)
+        ]
+        assert sorted(f.key for f in background_only) == \
+            sorted(f.key for f in plain.trace)
+
+    def test_flows_within_scenario_span(self, topology):
+        scenario = Scenario(
+            topology=topology,
+            background=BackgroundConfig(flows_per_second=10.0),
+            bin_count=3,
+        )
+        labeled = scenario.build(seed=6)
+        start, end = scenario.span
+        assert all(start <= f.start < end for f in labeled.trace)
+        assert labeled.trace.bin_count <= 3

@@ -1,0 +1,281 @@
+"""Tests for the system package (alarm DB, backend, console, pipeline)."""
+
+import pytest
+
+from conftest import make_flow
+from repro.detect.base import Alarm, MetadataItem
+from repro.errors import AlarmDatabaseError, ConfigurationError, StoreError
+from repro.extraction.extractor import AnomalyExtractor
+from repro.extraction.validate import validate_report
+from repro.flows.record import FlowFeature, TcpFlags
+from repro.flows.store import FlowStore
+from repro.flows.trace import FlowTrace
+from repro.mining.items import Item, Itemset
+from repro.system.alarmdb import AlarmDatabase, AlarmStatus
+from repro.system.backend import FlowBackend
+from repro.system.config import SystemConfig
+from repro.system.console import (
+    alarm_queue_view,
+    flow_drilldown_view,
+    itemset_table_view,
+    render_table,
+    session_view,
+    verdict_view,
+)
+from repro.system.pipeline import ExtractionSystem
+
+
+def _alarm(alarm_id="a1", start=300.0, end=600.0, metadata=None):
+    return Alarm(
+        alarm_id=alarm_id,
+        detector="test",
+        start=start,
+        end=end,
+        score=3.5,
+        label="port scan",
+        metadata=metadata or [MetadataItem(FlowFeature.DST_PORT, 80)],
+        router=2,
+    )
+
+
+class TestAlarmDatabase:
+    def test_insert_get_roundtrip(self):
+        with AlarmDatabase() as db:
+            alarm = _alarm()
+            db.insert(alarm)
+            loaded = db.get("a1")
+            assert loaded.alarm_id == alarm.alarm_id
+            assert loaded.start == alarm.start
+            assert loaded.router == 2
+            assert loaded.metadata[0].feature is FlowFeature.DST_PORT
+            assert loaded.metadata[0].value == 80
+
+    def test_duplicate_insert_rejected(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm())
+            with pytest.raises(AlarmDatabaseError):
+                db.insert(_alarm())
+
+    def test_status_lifecycle(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm())
+            assert db.status_of("a1") == (AlarmStatus.OPEN, "")
+            db.set_status("a1", AlarmStatus.VALIDATED, "confirmed scan")
+            assert db.status_of("a1") == (
+                AlarmStatus.VALIDATED, "confirmed scan"
+            )
+            with pytest.raises(AlarmDatabaseError):
+                db.set_status("a1", "weird")
+            with pytest.raises(AlarmDatabaseError):
+                db.set_status("missing", AlarmStatus.OPEN)
+
+    def test_list_filters(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm("a1", 0.0, 300.0))
+            db.insert(_alarm("a2", 300.0, 600.0))
+            db.set_status("a2", AlarmStatus.DISMISSED)
+            assert [a.alarm_id for a in db.list_alarms()] == ["a1", "a2"]
+            assert [
+                a.alarm_id
+                for a in db.list_alarms(status=AlarmStatus.OPEN)
+            ] == ["a1"]
+            assert [
+                a.alarm_id for a in db.list_alarms(start=250.0, end=700.0)
+            ] == ["a1", "a2"]
+            assert [
+                a.alarm_id for a in db.list_alarms(start=350.0)
+            ] == ["a2"]
+
+    def test_count_and_delete(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm("a1"))
+            db.insert(_alarm("a2", 600.0, 900.0))
+            assert db.count() == 2
+            assert db.count(AlarmStatus.OPEN) == 2
+            db.delete("a1")
+            assert db.count() == 1
+            with pytest.raises(AlarmDatabaseError):
+                db.delete("a1")
+
+    def test_file_persistence(self, tmp_path):
+        path = tmp_path / "alarms.sqlite"
+        with AlarmDatabase(path) as db:
+            db.insert(_alarm())
+        with AlarmDatabase(path) as db:
+            assert db.get("a1").alarm_id == "a1"
+
+
+def _backend(bin_seconds=300.0):
+    flows = []
+    for b in range(4):
+        for i in range(20):
+            start = b * bin_seconds + i * 10
+            flows.append(
+                make_flow(sport=2000 + i, dport=80, start=start,
+                          end=start + 1)
+            )
+    store = FlowStore(slice_seconds=bin_seconds)
+    store.insert_many(flows)
+    return FlowBackend(store, baseline_bins=2)
+
+
+class TestFlowBackend:
+    def test_windows(self):
+        backend = _backend()
+        windows = backend.windows_for(_alarm(start=600.0, end=900.0))
+        assert windows.interval == (600.0, 900.0)
+        assert windows.baseline == (0.0, 600.0)
+
+    def test_alarm_and_baseline_flows(self):
+        backend = _backend()
+        alarm = _alarm(start=600.0, end=900.0)
+        assert len(backend.alarm_flows(alarm)) == 20
+        assert len(backend.baseline_flows(alarm)) == 40
+
+    def test_no_baseline(self):
+        backend = FlowBackend(_backend().store, baseline_bins=0)
+        assert backend.baseline_flows(_alarm(start=600.0, end=900.0)) == []
+
+    def test_itemset_drilldown(self):
+        backend = _backend()
+        itemset = Itemset([Item(FlowFeature.SRC_PORT, 2003)])
+        matched = backend.itemset_flows(itemset, 0.0, 1200.0)
+        assert len(matched) == 4
+        limited = backend.itemset_flows(itemset, 0.0, 1200.0, limit=2)
+        assert len(limited) == 2
+        with pytest.raises(StoreError):
+            backend.itemset_flows(itemset, 0.0, 1200.0, limit=0)
+
+    def test_top_feature_values(self):
+        backend = _backend()
+        top = backend.top_feature_values(
+            0.0, 1200.0, FlowFeature.DST_PORT, n=1
+        )
+        assert top == [(80, 80)]
+
+    def test_validation(self):
+        with pytest.raises(StoreError):
+            FlowBackend(FlowStore(), baseline_bins=-1)
+
+
+class TestConsole:
+    def _report(self):
+        flows = [
+            make_flow(src="7.7.7.7", dst="8.8.8.8", sport=55548, dport=p,
+                      packets=1, flags=TcpFlags.SYN)
+            for p in range(1, 101)
+        ]
+        alarm = _alarm(metadata=[
+            MetadataItem(FlowFeature.SRC_IP, flows[0].src_ip)
+        ], start=0.0, end=300.0)
+        report = AnomalyExtractor().extract(alarm, flows)
+        return alarm, report
+
+    def test_render_table_alignment(self):
+        text = render_table([("a", "bb"), ("ccc", "d")])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, rule, one row
+        assert len(lines[0]) == len(lines[2])
+
+    def test_alarm_queue_view(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm())
+            view = alarm_queue_view(db)
+            assert "a1" in view and "open" in view and "dstPort=80" in view
+
+    def test_itemset_table_view(self):
+        alarm, report = self._report()
+        view = itemset_table_view(report)
+        assert "55548" in view
+        assert "port scan" in view
+
+    def test_flow_drilldown_view(self):
+        flows = [make_flow(packets=i) for i in range(1, 30)]
+        view = flow_drilldown_view(flows, limit=5)
+        assert "... 24 more flows" in view
+        assert "10.0.0.1" in view
+
+    def test_verdict_and_session_views(self):
+        alarm, report = self._report()
+        verdict = validate_report(report)
+        assert "port scan" in verdict_view(verdict)
+        session = session_view(alarm, report, verdict)
+        assert "=" * 72 in session
+
+    def test_anonymized_views(self):
+        alarm, report = self._report()
+        view = itemset_table_view(report, anonymize=True)
+        assert "7.7.7.7" not in view
+
+
+class TestExtractionSystem:
+    def _system(self):
+        flows = []
+        for b in range(4):
+            for i in range(30):
+                start = b * 300.0 + i * 5
+                flows.append(
+                    make_flow(sport=3000 + i, dport=443, start=start,
+                              end=start + 1, packets=4)
+                )
+        # A scan in bin 3.
+        flows += [
+            make_flow(src="6.6.6.6", dst="10.0.0.9", sport=55548, dport=p,
+                      packets=1, flags=TcpFlags.SYN, start=910.0, end=910.1)
+            for p in range(1, 301)
+        ]
+        trace = FlowTrace(flows, bin_seconds=300.0, origin=0.0)
+        return ExtractionSystem.from_trace(trace)
+
+    def test_ingest_and_extract(self):
+        system = self._system()
+        alarm = _alarm(
+            "scan-alarm", 900.0, 1200.0,
+            metadata=[
+                MetadataItem(FlowFeature.SRC_IP, make_flow(src="6.6.6.6").src_ip)
+            ],
+        )
+        system.ingest([alarm])
+        report = system.extract("scan-alarm")
+        assert report.useful
+        assert system.alarmdb.status_of("scan-alarm")[0] == \
+            AlarmStatus.EXTRACTED
+
+    def test_validate_sets_status_and_verdict(self):
+        system = self._system()
+        alarm = _alarm(
+            "scan-alarm", 900.0, 1200.0,
+            metadata=[
+                MetadataItem(FlowFeature.SRC_IP, make_flow(src="6.6.6.6").src_ip)
+            ],
+        )
+        system.ingest([alarm])
+        result = system.validate("scan-alarm")
+        assert result.verdict.useful
+        status, verdict_text = system.alarmdb.status_of("scan-alarm")
+        assert status == AlarmStatus.VALIDATED
+        assert verdict_text
+
+    def test_process_open_alarms(self):
+        system = self._system()
+        system.ingest([
+            _alarm("a1", 900.0, 1200.0),
+            _alarm("a2", 300.0, 600.0),
+        ])
+        results = system.process_open_alarms()
+        assert len(results) == 2
+        assert system.alarmdb.count(AlarmStatus.OPEN) == 0
+
+    def test_extract_missing_interval(self):
+        system = self._system()
+        alarm = _alarm("far", 90_000.0, 90_300.0)
+        from repro.errors import ExtractionError
+
+        with pytest.raises(ExtractionError):
+            system.extract(alarm)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(baseline_bins=-1)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(evidence_sample_size=0)
