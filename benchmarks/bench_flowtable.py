@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Record path vs columnar path micro-benchmark.
+
+Measures the four hot-path operations the FlowTable refactor
+vectorized — nfdump-filter evaluation, store window queries, per-bin
+feature extraction and transaction encoding — on the same synthetic
+flow set, once through the historical per-record pipeline and once
+through the columnar pipeline, and writes the comparison to
+``BENCH_flowtable.json`` so the perf trajectory is recorded per PR.
+
+Run:  PYTHONPATH=src python benchmarks/bench_flowtable.py [--flows N]
+
+Not a pytest suite on purpose: no harness overhead, runnable in CI and
+on a laptop, emits machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detect.features import compute_bin_features  # noqa: E402
+from repro.flows.aggregate import all_feature_histograms  # noqa: E402
+from repro.flows.filter import compile_filter, compile_mask  # noqa: E402
+from repro.flows.store import FlowStore  # noqa: E402
+from repro.flows.table import FlowTable  # noqa: E402
+from repro.mining.transactions import TransactionSet  # noqa: E402
+
+#: The filter used for the filter/query legs: compound enough to touch
+#: IPs, ports, protocol and counters.
+FILTER_EXPRESSION = (
+    "(dst net 10.0.0.0/8 or proto udp) and packets > 20 "
+    "and not dst port 443"
+)
+
+REPEATS = 3
+
+
+def synth_table(count: int, seed: int = 7) -> FlowTable:
+    """A plausible mixed-traffic flow set, generated columnar."""
+    rng = np.random.default_rng(seed)
+    start = np.sort(rng.uniform(0.0, 1800.0, count))
+    return FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0AFFFFFF, count),
+        dst_ip=np.where(
+            rng.random(count) < 0.7,
+            rng.integers(0x0A000000, 0x0AFFFFFF, count),
+            rng.integers(0xC0A80000, 0xC0A8FFFF, count),
+        ),
+        src_port=rng.integers(1024, 65536, count),
+        dst_port=rng.choice(
+            np.array([53, 80, 443, 8080, 25, 123]), count
+        ),
+        proto=rng.choice(np.array([6, 6, 6, 17, 1]), count),
+        packets=rng.integers(1, 2000, count),
+        bytes=rng.integers(40, 1_000_000, count),
+        start=start,
+        end=start + rng.uniform(0.0, 120.0, count),
+        tcp_flags=rng.integers(0, 0x40, count),
+        router=rng.integers(0, 23, count),
+        sampling_rate=np.ones(count, dtype=np.int64),
+    )
+
+
+def timed(fn) -> tuple[float, object]:
+    """Best-of-REPEATS wall time of ``fn`` plus its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flows", type=int, default=100_000)
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent
+                             / "BENCH_flowtable.json")
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the combined speedup misses the "
+             "5x acceptance floor (meaningful at the default 100k flows)",
+    )
+    args = parser.parse_args()
+
+    table = synth_table(args.flows)
+    records = table.to_records()
+    results: dict[str, dict[str, float]] = {}
+
+    # -- filter: predicate loop vs compiled mask -------------------------
+    predicate = compile_filter(FILTER_EXPRESSION)
+    mask_of = compile_mask(FILTER_EXPRESSION)
+    record_time, record_hits = timed(
+        lambda: sum(1 for f in records if predicate(f))
+    )
+    table_time, table_hits = timed(lambda: int(mask_of(table).sum()))
+    assert record_hits == table_hits, (record_hits, table_hits)
+    results["filter"] = {"record_s": record_time, "table_s": table_time}
+
+    # -- query: windowed scan+sort vs store.query_table ------------------
+    store = FlowStore(slice_seconds=300.0)
+    store.insert_table(table)
+    window = (300.0, 1500.0)
+
+    def record_query():
+        hits = [
+            f for f in records
+            if window[0] <= f.start < window[1] and predicate(f)
+        ]
+        hits.sort(key=lambda f: (f.start, f.key))
+        return len(hits)
+
+    record_time, record_hits = timed(record_query)
+    table_time, table_hits = timed(
+        lambda: len(store.query_table(*window, FILTER_EXPRESSION))
+    )
+    assert record_hits == table_hits, (record_hits, table_hits)
+    results["query"] = {"record_s": record_time, "table_s": table_time}
+
+    # -- feature: histogram + entropy extraction -------------------------
+    record_time, _ = timed(lambda: (
+        all_feature_histograms(records), compute_bin_features(records)
+    ))
+    table_time, _ = timed(lambda: (
+        all_feature_histograms(table), compute_bin_features(table)
+    ))
+    results["feature"] = {"record_s": record_time, "table_s": table_time}
+
+    # -- encode: transaction interning -----------------------------------
+    record_time, by_records = timed(
+        lambda: TransactionSet.from_flows(iter(records))
+    )
+    table_time, by_table = timed(
+        lambda: TransactionSet.from_table(table)
+    )
+    assert by_records.item_count == by_table.item_count
+    results["encode"] = {"record_s": record_time, "table_s": table_time}
+
+    for name, entry in results.items():
+        entry["speedup"] = entry["record_s"] / entry["table_s"]
+
+    core = ("filter", "feature", "encode")
+    combined = (
+        sum(results[k]["record_s"] for k in core)
+        / sum(results[k]["table_s"] for k in core)
+    )
+    payload = {
+        "benchmark": "flowtable_record_vs_columnar",
+        "flows": args.flows,
+        "filter_expression": FILTER_EXPRESSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "combined_filter_feature_encode_speedup": combined,
+        "acceptance_min_speedup": 5.0,
+        "acceptance_pass": combined >= 5.0,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{args.flows} flows, best of {REPEATS}:")
+    for name, entry in results.items():
+        print(
+            f"  {name:8s} record {entry['record_s'] * 1e3:9.2f} ms   "
+            f"table {entry['table_s'] * 1e3:8.2f} ms   "
+            f"{entry['speedup']:6.1f}x"
+        )
+    print(f"  combined filter+feature+encode speedup: {combined:.1f}x")
+    print(f"wrote {args.out}")
+    if args.check and combined < 5.0:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

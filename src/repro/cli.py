@@ -29,7 +29,7 @@ from repro.extraction.extractor import AnomalyExtractor
 from repro.extraction.summarize import table_rows
 from repro.extraction.validate import validate_report
 from repro.flows.addresses import ip_to_int
-from repro.flows.flowio import read_binary, write_binary
+from repro.flows.flowio import read_binary_table, write_binary
 from repro.flows.record import FlowFeature
 from repro.flows.store import FlowStore
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace
@@ -97,8 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_trace(path: str) -> FlowTrace:
-    return FlowTrace(read_binary(path), bin_seconds=DEFAULT_BIN_SECONDS,
-                     origin=0.0)
+    # Chunked columnar decode: the trace is table-backed end to end.
+    return FlowTrace(read_binary_table(path),
+                     bin_seconds=DEFAULT_BIN_SECONDS, origin=0.0)
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -161,7 +162,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     store = FlowStore.from_trace(trace)
     start = args.start if args.start is not None else trace.span[0]
     end = args.end if args.end is not None else trace.span[1] + 1.0
-    flows = store.query(start, end, args.filter)
+    flows = store.query_table(start, end, args.filter)
     print(f"{len(flows)} flows match")
     if args.top:
         feature = FlowFeature(args.top)
@@ -178,7 +179,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         from repro.system.console import flow_drilldown_view
 
-        print(flow_drilldown_view(flows, limit=args.n))
+        print(flow_drilldown_view(flows.to_records(), limit=args.n))
     return 0
 
 
@@ -222,11 +223,11 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         score=1.0,
         metadata=[_parse_hint(h) for h in args.hint],
     )
-    interval = trace.between(alarm.start, alarm.end)
+    interval = trace.between_table(alarm.start, alarm.end)
     if not interval:
         print("error: no flows in the requested window", file=sys.stderr)
         return 2
-    baseline = trace.between(
+    baseline = trace.between_table(
         alarm.start - 3 * trace.bin_seconds, alarm.start
     )
     report = AnomalyExtractor().extract(alarm, interval, baseline)

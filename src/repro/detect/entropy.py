@@ -14,9 +14,16 @@ import math
 from collections import Counter
 from typing import Mapping
 
+import numpy as np
+
 from repro.errors import DetectorError
 
-__all__ = ["sample_entropy", "normalized_entropy", "entropy_of_counts"]
+__all__ = [
+    "sample_entropy",
+    "normalized_entropy",
+    "entropy_of_counts",
+    "entropy_of_count_array",
+]
 
 
 def entropy_of_counts(counts: list[int] | tuple[int, ...]) -> float:
@@ -38,6 +45,26 @@ def entropy_of_counts(counts: list[int] | tuple[int, ...]) -> float:
             p = count / total
             entropy -= p * math.log2(p)
     return entropy
+
+
+def entropy_of_count_array(counts: np.ndarray) -> float:
+    """Vectorized Shannon entropy (bits) of a count array.
+
+    The columnar counterpart of :func:`entropy_of_counts` — used by the
+    table-based feature extraction, where counts come straight from
+    ``np.unique``/``np.bincount``. Same conventions: zero counts
+    contribute nothing, an empty or all-zero input has zero entropy.
+    """
+    counts = np.asarray(counts)
+    if counts.size == 0:
+        return 0.0
+    if counts.min() < 0:
+        raise DetectorError(f"negative count {counts.min()!r}")
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log2(probabilities)).sum())
 
 
 def sample_entropy(histogram: Mapping[object, int] | Counter) -> float:

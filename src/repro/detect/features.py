@@ -13,10 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.detect.entropy import sample_entropy
+from repro.detect.entropy import entropy_of_count_array, sample_entropy
 from repro.errors import DetectorError
 from repro.flows.aggregate import all_feature_histograms
 from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
 from repro.flows.trace import FlowTrace
 
 __all__ = [
@@ -67,8 +68,31 @@ class BinFeatures:
         )
 
 
-def compute_bin_features(flows: list[FlowRecord]) -> BinFeatures:
-    """Volume and entropy features of one bin's flows."""
+def compute_bin_features(
+    flows: list[FlowRecord] | FlowTable,
+) -> BinFeatures:
+    """Volume and entropy features of one bin's flows.
+
+    A :class:`FlowTable` takes the vectorized path: per-feature counts
+    come from ``np.unique`` over the columns and the entropies from one
+    array expression, with no per-flow Python work.
+    """
+    if isinstance(flows, FlowTable):
+        entropies = {}
+        for feature in _ENTROPY_FEATURES:
+            _, counts = np.unique(
+                flows.feature_column(feature), return_counts=True
+            )
+            entropies[feature] = entropy_of_count_array(counts)
+        return BinFeatures(
+            flows=len(flows),
+            packets=flows.total_packets(),
+            bytes=flows.total_bytes(),
+            entropy_src_ip=entropies[FlowFeature.SRC_IP],
+            entropy_dst_ip=entropies[FlowFeature.DST_IP],
+            entropy_src_port=entropies[FlowFeature.SRC_PORT],
+            entropy_dst_port=entropies[FlowFeature.DST_PORT],
+        )
     histograms = all_feature_histograms(flows)
     packets = sum(f.packets for f in flows)
     bytes_ = sum(f.bytes for f in flows)
@@ -148,7 +172,7 @@ def build_feature_matrix(
     groups: list[str] = []
     if per_pop:
         if pop_count is None:
-            pop_count = max(f.router for f in trace) + 1
+            pop_count = int(trace.table.router.max()) + 1
         groups = [f"pop{p}" for p in range(pop_count)]
     else:
         groups = [""]
@@ -164,14 +188,14 @@ def build_feature_matrix(
 
     rows = []
     bin_indices = []
-    for index, bin_flows in trace.bins():
+    for index, bin_table in trace.bin_tables():
         bin_indices.append(index)
         row: list[float] = []
         for pop, group in enumerate(groups):
             if per_pop:
-                selected = [f for f in bin_flows if f.router == pop]
+                selected = bin_table.select(bin_table.router == pop)
             else:
-                selected = bin_flows
+                selected = bin_table
             features = compute_bin_features(selected)
             vector = features.as_array()
             if include_volume and include_entropy:

@@ -30,6 +30,7 @@ from repro.flows.filter import (
     ProtoMatch,
 )
 from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
 
 __all__ = ["CandidateSelection", "metadata_filter", "select_candidates"]
 
@@ -43,9 +44,15 @@ _DIRECTION_BY_FEATURE = {
 
 @dataclass
 class CandidateSelection:
-    """The candidate flows plus how they were selected."""
+    """The candidate flows plus how they were selected.
 
-    flows: list[FlowRecord]
+    ``flows`` is a list of records on the historical path and a
+    :class:`FlowTable` on the columnar path; both support ``len``,
+    iteration and indexing, and every consumer downstream (mining,
+    filtering, classification) dispatches on the concrete type.
+    """
+
+    flows: "list[FlowRecord] | FlowTable"
     filter_node: FilterNode | None
     used_metadata: bool
     interval_flow_count: int
@@ -93,7 +100,7 @@ def metadata_filter(alarm: Alarm) -> FilterNode | None:
 
 
 def select_candidates(
-    interval_flows: list[FlowRecord],
+    interval_flows: "list[FlowRecord] | FlowTable",
     alarm: Alarm,
     min_candidates: int = 50,
     use_metadata: bool = True,
@@ -101,28 +108,33 @@ def select_candidates(
     """Select candidate anomalous flows for one alarm.
 
     ``interval_flows`` are the flows of the alarm interval (the caller
-    queries the store). With usable meta-data, the union filter is
-    applied; if it matches fewer than ``min_candidates`` flows — the
-    hints may be stale or wrong — selection falls back to the whole
-    interval, mirroring the GUI's "tune the extraction parameters"
-    loop.
+    queries the store) — a record list or a :class:`FlowTable`; with a
+    table, the union filter runs as a vectorized mask and the selection
+    stays columnar. With usable meta-data, the union filter is applied;
+    if it matches fewer than ``min_candidates`` flows — the hints may
+    be stale or wrong — selection falls back to the whole interval,
+    mirroring the GUI's "tune the extraction parameters" loop.
     """
     if min_candidates < 0:
         raise ExtractionError(
             f"min_candidates must be non-negative: {min_candidates!r}"
         )
+    columnar = isinstance(interval_flows, FlowTable)
     node = metadata_filter(alarm) if use_metadata else None
     if node is None:
         return CandidateSelection(
-            flows=list(interval_flows),
+            flows=interval_flows if columnar else list(interval_flows),
             filter_node=MatchAny(),
             used_metadata=False,
             interval_flow_count=len(interval_flows),
         )
-    matched = [flow for flow in interval_flows if node.matches(flow)]
+    if columnar:
+        matched = interval_flows.select(node.mask(interval_flows))
+    else:
+        matched = [flow for flow in interval_flows if node.matches(flow)]
     if len(matched) < min_candidates:
         return CandidateSelection(
-            flows=list(interval_flows),
+            flows=interval_flows if columnar else list(interval_flows),
             filter_node=MatchAny(),
             used_metadata=False,
             interval_flow_count=len(interval_flows),

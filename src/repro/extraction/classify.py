@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.flows.aggregate import distinct_counts
 from repro.flows.record import FlowFeature, FlowRecord, Protocol, TcpFlags
+from repro.flows.table import FlowTable
 from repro.mining.items import Itemset
 from repro.taxonomy import AnomalyKind
 
@@ -42,25 +45,39 @@ class Classification:
     rationale: str
 
 
-def _syn_fraction(flows: list[FlowRecord]) -> float:
-    tcp = [f for f in flows if f.proto == Protocol.TCP]
-    if not tcp:
+def _syn_fraction(flows: "list[FlowRecord] | FlowTable") -> float:
+    if isinstance(flows, FlowTable):
+        tcp = flows.proto == int(Protocol.TCP)
+        tcp_count = int(tcp.sum())
+        if tcp_count == 0:
+            return 0.0
+        tcp_flags = flows.tcp_flags
+        bare_syn = (
+            tcp
+            & ((tcp_flags & np.uint16(TcpFlags.SYN)) != 0)
+            & ((tcp_flags & np.uint16(TcpFlags.ACK)) == 0)
+        )
+        return int(bare_syn.sum()) / tcp_count
+    tcp_records = [f for f in flows if f.proto == Protocol.TCP]
+    if not tcp_records:
         return 0.0
     bare_syn = sum(
         1
-        for f in tcp
+        for f in tcp_records
         if f.tcp_flags & TcpFlags.SYN and not f.tcp_flags & TcpFlags.ACK
     )
-    return bare_syn / len(tcp)
+    return bare_syn / len(tcp_records)
 
 
 def classify_itemset(
-    itemset: Itemset, flows: list[FlowRecord]
+    itemset: Itemset, flows: "list[FlowRecord] | FlowTable"
 ) -> Classification:
     """Guess the anomaly class of ``itemset`` from its matched flows.
 
     The rules fire in specificity order; the first match wins. An empty
-    flow list yields UNKNOWN at zero confidence.
+    flow list yields UNKNOWN at zero confidence. A :class:`FlowTable`
+    takes the vectorized path for the cardinalities, volume profile
+    and SYN fraction.
     """
     if not flows:
         return Classification(
@@ -68,8 +85,12 @@ def classify_itemset(
         )
     counts = distinct_counts(flows)
     flow_count = len(flows)
-    packets = sum(f.packets for f in flows)
-    bytes_ = sum(f.bytes for f in flows)
+    if isinstance(flows, FlowTable):
+        packets = flows.total_packets()
+        bytes_ = flows.total_bytes()
+    else:
+        packets = sum(f.packets for f in flows)
+        bytes_ = sum(f.bytes for f in flows)
     packets_per_flow = packets / flow_count
     bytes_per_flow = bytes_ / flow_count
     syn_fraction = _syn_fraction(flows)

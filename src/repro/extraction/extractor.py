@@ -30,6 +30,7 @@ from repro.extraction.filtering import (
 )
 from repro.extraction.ranking import ScoredItemset, rank_itemsets
 from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
 from repro.mining.extended import (
     ExtendedApriori,
     ExtendedAprioriConfig,
@@ -94,8 +95,16 @@ class ExtractedItemset:
         """Shortcut to the underlying itemset."""
         return self.scored.support.itemset
 
-    def matching_flows(self, flows: list[FlowRecord]) -> list[FlowRecord]:
-        """Drill down: the subset of ``flows`` this itemset covers."""
+    def matching_flows(
+        self, flows: "list[FlowRecord] | FlowTable"
+    ) -> list[FlowRecord]:
+        """Drill down: the subset of ``flows`` this itemset covers.
+
+        On a columnar flow set the intersection runs as a mask and only
+        the matching rows are materialized as records.
+        """
+        if isinstance(flows, FlowTable):
+            return flows.select(self.itemset.mask(flows)).to_records()
         return [flow for flow in flows if self.itemset.matches(flow)]
 
     def describe(self, anonymize: bool = False) -> str:
@@ -211,17 +220,22 @@ class AnomalyExtractor:
     def extract(
         self,
         alarm: Alarm,
-        interval_flows: list[FlowRecord],
-        baseline_flows: list[FlowRecord] | None = None,
+        interval_flows: "list[FlowRecord] | FlowTable",
+        baseline_flows: "list[FlowRecord] | FlowTable | None" = None,
     ) -> ExtractionReport:
         """Run the full pipeline for one alarm.
 
         ``interval_flows`` are the flows of the alarm window;
         ``baseline_flows`` an optional pre-alarm reference window for
-        the popular-value filter.
+        the popular-value filter. Passing :class:`FlowTable` for both
+        keeps the whole pipeline (candidate masks, transaction
+        encoding, itemset intersection, classification) on the
+        vectorized columnar path — this is what
+        :class:`~repro.system.pipeline.ExtractionSystem` does.
         """
         cfg = self.config
-        baseline_flows = baseline_flows or []
+        if baseline_flows is None:
+            baseline_flows = []
 
         candidates = select_candidates(
             interval_flows,
@@ -236,9 +250,14 @@ class AnomalyExtractor:
         # stops filtering.
         if candidates.used_metadata and candidates.filter_node is not None:
             node = candidates.filter_node
-            baseline_flows = [
-                flow for flow in baseline_flows if node.matches(flow)
-            ]
+            if isinstance(baseline_flows, FlowTable):
+                baseline_flows = baseline_flows.select(
+                    node.mask(baseline_flows)
+                )
+            else:
+                baseline_flows = [
+                    flow for flow in baseline_flows if node.matches(flow)
+                ]
         outcome = self._miner.mine(candidates.flows)
 
         survivors = dominance_filter(
@@ -269,21 +288,25 @@ class AnomalyExtractor:
         ranked = [s for s in ranked if s.score >= cfg.min_score]
 
         extracted = []
+        columnar = isinstance(candidates.flows, FlowTable)
         for rank, scored in enumerate(ranked, start=1):
-            matched = [
-                flow
-                for flow in candidates.flows
-                if scored.support.itemset.matches(flow)
-            ]
+            itemset = scored.support.itemset
+            if columnar:
+                matched = candidates.flows.select(
+                    itemset.mask(candidates.flows)
+                )
+            else:
+                matched = [
+                    flow for flow in candidates.flows
+                    if itemset.matches(flow)
+                ]
             extracted.append(
                 ExtractedItemset(
                     rank=rank,
                     scored=scored,
-                    classification=classify_itemset(
-                        scored.support.itemset, matched
-                    ),
+                    classification=classify_itemset(itemset, matched),
                     confirms_detector=itemset_confirms_metadata(
-                        scored.support.itemset, alarm
+                        itemset, alarm
                     ),
                     matched_flow_count=len(matched),
                 )

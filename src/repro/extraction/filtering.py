@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ExtractionError
 from repro.flows.record import FlowRecord
+from repro.flows.table import FlowTable
 from repro.mining.items import ItemsetSupport
 
 __all__ = [
@@ -94,9 +97,46 @@ def dominance_filter(
     return kept
 
 
+def _parent_coverage(
+    parent: ItemsetSupport,
+    refinements: list,
+    flows: "list[FlowRecord] | FlowTable",
+) -> tuple[int, int, int, int]:
+    """Exact (parent_flows, parent_packets, covered_flows,
+    covered_packets) of a parent against its refinements."""
+    if isinstance(flows, FlowTable):
+        parent_mask = parent.itemset.mask(flows)
+        parent_flows = int(parent_mask.sum())
+        if parent_flows == 0:
+            return 0, 0, 0, 0
+        packets = flows.packets
+        parent_packets = int(packets[parent_mask].sum())
+        union = np.zeros(len(flows), dtype=bool)
+        for refinement in refinements:
+            union |= refinement.mask(flows)
+        covered = parent_mask & union
+        return (
+            parent_flows,
+            parent_packets,
+            int(covered.sum()),
+            int(packets[covered].sum()),
+        )
+    covered_flows = covered_packets = 0
+    parent_flows = parent_packets = 0
+    for flow in flows:
+        if not parent.itemset.matches(flow):
+            continue
+        parent_flows += 1
+        parent_packets += flow.packets
+        if any(r.matches(flow) for r in refinements):
+            covered_flows += 1
+            covered_packets += flow.packets
+    return parent_flows, parent_packets, covered_flows, covered_packets
+
+
 def decompose_parents(
     supports: list[ItemsetSupport],
-    flows: list[FlowRecord],
+    flows: "list[FlowRecord] | FlowTable",
     coverage: float = 0.95,
 ) -> list[ItemsetSupport]:
     """Drop umbrella itemsets explained by their kept refinements.
@@ -133,18 +173,8 @@ def decompose_parents(
             ]
             if not refinements:
                 continue
-            covered_flows = 0
-            covered_packets = 0
-            parent_flows = 0
-            parent_packets = 0
-            for flow in flows:
-                if not parent.itemset.matches(flow):
-                    continue
-                parent_flows += 1
-                parent_packets += flow.packets
-                if any(r.matches(flow) for r in refinements):
-                    covered_flows += 1
-                    covered_packets += flow.packets
+            (parent_flows, parent_packets, covered_flows,
+             covered_packets) = _parent_coverage(parent, refinements, flows)
             if parent_flows == 0:
                 continue
             flow_cover = covered_flows / parent_flows
@@ -168,17 +198,34 @@ class BaselineStats:
 
 def baseline_shares(
     supports: list[ItemsetSupport],
-    baseline_flows: list[FlowRecord],
+    baseline_flows: "list[FlowRecord] | FlowTable",
 ) -> dict[int, BaselineStats]:
     """Measure each itemset's share in the baseline window.
 
     Returns a mapping from the index of the itemset in ``supports`` to
-    its baseline stats (counting is per-itemset; the baseline window is
-    typically a couple of bins, so this stays cheap).
+    its baseline stats. With a columnar baseline each itemset counts
+    via one boolean mask; the record path stays for list callers.
     """
+    stats: dict[int, BaselineStats] = {}
+    if isinstance(baseline_flows, FlowTable):
+        total_flows = len(baseline_flows)
+        total_packets = baseline_flows.total_packets()
+        packets = baseline_flows.packets
+        for index, support in enumerate(supports):
+            mask = support.itemset.mask(baseline_flows)
+            matched_flows = int(mask.sum())
+            matched_packets = int(packets[mask].sum())
+            stats[index] = BaselineStats(
+                flow_share=(
+                    matched_flows / total_flows if total_flows else 0.0
+                ),
+                packet_share=(
+                    matched_packets / total_packets if total_packets else 0.0
+                ),
+            )
+        return stats
     total_flows = len(baseline_flows)
     total_packets = sum(f.packets for f in baseline_flows)
-    stats: dict[int, BaselineStats] = {}
     for index, support in enumerate(supports):
         matched_flows = 0
         matched_packets = 0
@@ -197,7 +244,7 @@ def baseline_shares(
 
 def baseline_filter(
     supports: list[ItemsetSupport],
-    baseline_flows: list[FlowRecord],
+    baseline_flows: "list[FlowRecord] | FlowTable",
     total_flows: int,
     total_packets: int,
     min_lift: float = 3.0,

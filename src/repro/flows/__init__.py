@@ -20,7 +20,13 @@ from repro.flows.aggregate import (
     top_n,
     traffic_matrix,
 )
-from repro.flows.filter import compile_filter, filter_flows, parse_filter
+from repro.flows.filter import (
+    compile_filter,
+    compile_mask,
+    filter_flows,
+    filter_table,
+    parse_filter,
+)
 from repro.flows.record import (
     FLOW_FEATURES,
     FlowFeature,
@@ -38,6 +44,7 @@ from repro.flows.sampling import (
     sample_trace,
 )
 from repro.flows.store import FlowStore, SliceInfo
+from repro.flows.table import FLOW_DTYPE, FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
 
 __all__ = [
@@ -52,7 +59,9 @@ __all__ = [
     "top_n",
     "traffic_matrix",
     "compile_filter",
+    "compile_mask",
     "filter_flows",
+    "filter_table",
     "parse_filter",
     "FLOW_FEATURES",
     "FlowFeature",
@@ -68,6 +77,8 @@ __all__ = [
     "sample_trace",
     "FlowStore",
     "SliceInfo",
+    "FLOW_DTYPE",
+    "FlowTable",
     "DEFAULT_BIN_SECONDS",
     "FlowTrace",
     "TraceStats",

@@ -28,9 +28,13 @@ Grammar (recursive descent, case-insensitive keywords)::
     cmp  := '=' | '==' | '!=' | '<' | '<=' | '>' | '>='
     list := '[' VALUE+ ']'
 
-Filters compile to plain Python predicates (``FlowRecord -> bool``); the
-AST also *unparses* back to canonical text, which the tests use to verify
-a parse → unparse → parse fixpoint.
+Filters compile two ways from the same AST: to plain Python predicates
+(``FlowRecord -> bool``) via :func:`compile_filter`, and to vectorized
+boolean masks over a :class:`~repro.flows.table.FlowTable` via
+:func:`compile_mask` — the columnar hot path. The AST also *unparses*
+back to canonical text, which the tests use to verify a parse → unparse
+→ parse fixpoint; the property tests additionally verify that predicate
+and mask agree flow-by-flow.
 """
 
 from __future__ import annotations
@@ -40,9 +44,12 @@ import re
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import FilterSyntaxError
 from repro.flows.addresses import Prefix, int_to_ip, ip_to_int
 from repro.flows.record import FlowRecord, Protocol, TcpFlags
+from repro.flows.table import FlowTable
 
 __all__ = [
     "Direction",
@@ -60,7 +67,9 @@ __all__ = [
     "RouterMatch",
     "parse_filter",
     "compile_filter",
+    "compile_mask",
     "filter_flows",
+    "filter_table",
 ]
 
 
@@ -86,12 +95,31 @@ _COMPARATORS: dict[str, Callable[[float, float], bool]] = {
     ">=": lambda a, b: a >= b,
 }
 
+#: The same comparison table as numpy ufuncs (arrays broadcast).
+_VECTOR_COMPARATORS: dict[str, Callable[..., np.ndarray]] = {
+    "=": np.equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
 
 class FilterNode:
     """Base class of filter AST nodes."""
 
     def matches(self, flow: FlowRecord) -> bool:
         """Evaluate the node against one flow."""
+        raise NotImplementedError
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        """Evaluate the node against every row of ``table`` at once.
+
+        Returns a boolean array of ``len(table)``; row ``i`` is True
+        exactly when ``matches(table.record(i))`` would be.
+        """
         raise NotImplementedError
 
     def unparse(self) -> str:
@@ -111,6 +139,12 @@ class And(FilterNode):
     def matches(self, flow: FlowRecord) -> bool:
         return all(child.matches(flow) for child in self.children)
 
+    def mask(self, table: FlowTable) -> np.ndarray:
+        result = self.children[0].mask(table)
+        for child in self.children[1:]:
+            result = result & child.mask(table)
+        return result
+
     def unparse(self) -> str:
         return " and ".join(_parenthesize(c, And) for c in self.children)
 
@@ -123,6 +157,12 @@ class Or(FilterNode):
 
     def matches(self, flow: FlowRecord) -> bool:
         return any(child.matches(flow) for child in self.children)
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        result = self.children[0].mask(table)
+        for child in self.children[1:]:
+            result = result | child.mask(table)
+        return result
 
     def unparse(self) -> str:
         return " or ".join(_parenthesize(c, Or) for c in self.children)
@@ -137,6 +177,9 @@ class Not(FilterNode):
     def matches(self, flow: FlowRecord) -> bool:
         return not self.child.matches(flow)
 
+    def mask(self, table: FlowTable) -> np.ndarray:
+        return ~self.child.mask(table)
+
     def unparse(self) -> str:
         return f"not {_parenthesize(self.child, Not)}"
 
@@ -147,6 +190,9 @@ class MatchAny(FilterNode):
 
     def matches(self, flow: FlowRecord) -> bool:
         return True
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        return np.ones(len(table), dtype=bool)
 
     def unparse(self) -> str:
         return "any"
@@ -165,6 +211,15 @@ class IpMatch(FilterNode):
         if self.direction is Direction.DST:
             return flow.dst_ip in self.addresses
         return flow.src_ip in self.addresses or flow.dst_ip in self.addresses
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        wanted = np.fromiter(self.addresses, dtype=np.uint32,
+                             count=len(self.addresses))
+        if self.direction is Direction.SRC:
+            return np.isin(table.src_ip, wanted)
+        if self.direction is Direction.DST:
+            return np.isin(table.dst_ip, wanted)
+        return np.isin(table.src_ip, wanted) | np.isin(table.dst_ip, wanted)
 
     def unparse(self) -> str:
         rendered = sorted(int_to_ip(a) for a in self.addresses)
@@ -186,6 +241,18 @@ class NetMatch(FilterNode):
         if self.direction is Direction.DST:
             return flow.dst_ip in self.prefix
         return flow.src_ip in self.prefix or flow.dst_ip in self.prefix
+
+    def _side_mask(self, addresses: np.ndarray) -> np.ndarray:
+        mask = np.uint32(self.prefix.mask)
+        network = np.uint32(self.prefix.network)
+        return (addresses & mask) == network
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        if self.direction is Direction.SRC:
+            return self._side_mask(table.src_ip)
+        if self.direction is Direction.DST:
+            return self._side_mask(table.dst_ip)
+        return self._side_mask(table.src_ip) | self._side_mask(table.dst_ip)
 
     def unparse(self) -> str:
         return f"{self.direction.prefix()}net {self.prefix}"
@@ -217,6 +284,22 @@ class PortMatch(FilterNode):
         return self._side_matches(flow.src_port) or \
             self._side_matches(flow.dst_port)
 
+    def _side_mask(self, ports: np.ndarray) -> np.ndarray:
+        if self.comparator is None:
+            wanted = np.fromiter(self.ports, dtype=np.uint16,
+                                 count=len(self.ports))
+            return np.isin(ports, wanted)
+        (bound,) = self.ports
+        return _VECTOR_COMPARATORS[self.comparator](ports, bound)
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        if self.direction is Direction.SRC:
+            return self._side_mask(table.src_port)
+        if self.direction is Direction.DST:
+            return self._side_mask(table.dst_port)
+        return self._side_mask(table.src_port) | \
+            self._side_mask(table.dst_port)
+
     def unparse(self) -> str:
         if self.comparator is not None:
             (bound,) = self.ports
@@ -237,6 +320,9 @@ class ProtoMatch(FilterNode):
 
     def matches(self, flow: FlowRecord) -> bool:
         return flow.proto == self.proto
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        return table.proto == self.proto
 
     def unparse(self) -> str:
         try:
@@ -264,6 +350,15 @@ class CounterMatch(FilterNode):
             actual = flow.duration
         return _COMPARATORS[self.comparator](actual, self.value)
 
+    def mask(self, table: FlowTable) -> np.ndarray:
+        if self.field == "packets":
+            column = table.packets
+        elif self.field == "bytes":
+            column = table.bytes
+        else:
+            column = table.duration
+        return _VECTOR_COMPARATORS[self.comparator](column, self.value)
+
     def unparse(self) -> str:
         value = self.value
         rendered = str(int(value)) if float(value).is_integer() else str(value)
@@ -278,6 +373,10 @@ class FlagsMatch(FilterNode):
 
     def matches(self, flow: FlowRecord) -> bool:
         return (flow.tcp_flags & self.flags) == self.flags
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        flags = np.uint16(self.flags)
+        return (table.tcp_flags & flags) == flags
 
     def unparse(self) -> str:
         letters = ""
@@ -297,6 +396,9 @@ class RouterMatch(FilterNode):
 
     def matches(self, flow: FlowRecord) -> bool:
         return flow.router == self.router
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        return table.router == self.router
 
     def unparse(self) -> str:
         return f"router {self.router}"
@@ -649,9 +751,30 @@ def compile_filter(
     return node.matches
 
 
+def compile_mask(
+    expression: str | FilterNode,
+) -> Callable[[FlowTable], np.ndarray]:
+    """Compile a filter (text or AST) into a vectorized mask function.
+
+    The returned callable maps a :class:`FlowTable` to a boolean array
+    selecting the matching rows — the columnar equivalent of
+    :func:`compile_filter`.
+    """
+    node = expression if isinstance(expression, FilterNode) \
+        else parse_filter(expression)
+    return node.mask
+
+
 def filter_flows(
     flows: Iterable[FlowRecord], expression: str | FilterNode
 ) -> Iterator[FlowRecord]:
     """Yield the flows matching ``expression``."""
     predicate = compile_filter(expression)
     return (flow for flow in flows if predicate(flow))
+
+
+def filter_table(
+    table: FlowTable, expression: str | FilterNode
+) -> FlowTable:
+    """New table holding the rows of ``table`` matching ``expression``."""
+    return table.select(compile_mask(expression)(table))

@@ -156,13 +156,18 @@ class FlowRecord:
                 raise FlowError(f"bad {name}: {port!r}")
         if not isinstance(self.proto, int) or not 0 <= self.proto <= 0xFF:
             raise FlowError(f"bad proto: {self.proto!r}")
-        if self.packets < 0 or self.bytes < 0:
-            raise FlowError("negative packet/byte counters")
+        if not 0 <= self.packets <= 0x7FFFFFFFFFFFFFFF or \
+                not 0 <= self.bytes <= 0x7FFFFFFFFFFFFFFF:
+            raise FlowError("packet/byte counters outside [0, 2^63)")
+        if not 0 <= self.tcp_flags <= 0xFF:
+            raise FlowError(f"bad tcp_flags: {self.tcp_flags!r}")
+        if not 0 <= self.router <= 0xFFFFFFFF:
+            raise FlowError(f"bad router: {self.router!r}")
         if self.end < self.start:
             raise FlowError(
                 f"flow ends before it starts ({self.end} < {self.start})"
             )
-        if self.sampling_rate < 1:
+        if not 1 <= self.sampling_rate <= 0xFFFFFFFF:
             raise FlowError(f"bad sampling rate: {self.sampling_rate!r}")
 
     # -- derived views ---------------------------------------------------

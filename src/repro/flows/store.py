@@ -4,12 +4,17 @@ NfDump rotates capture files every few minutes and answers queries of the
 form "all flows in [t0, t1) matching <filter>". :class:`FlowStore`
 reproduces that interface in-process: flows are partitioned into
 fixed-width time slices (default 5 minutes, like the GEANT deployment),
-each slice indexed by start time, and queries combine a time range with
-an optional nfdump-style filter expression.
+each slice held as a columnar :class:`~repro.flows.table.FlowTable`
+chunk, and queries combine a time range with an optional nfdump-style
+filter expression compiled to a vectorized mask.
 
 The store is the "NfDump backend" box of the paper's Figure 1; the
 extraction engine and the operator console only talk to it through
-:meth:`FlowStore.query` and :meth:`FlowStore.top_talkers`.
+:meth:`FlowStore.query` / :meth:`FlowStore.query_table` and the
+statistics methods. ``query_table`` is the hot path: it answers a
+window+filter query as a table slice without materializing a single
+:class:`FlowRecord`; ``query`` is the backward-compatible record view
+of the same result.
 """
 
 from __future__ import annotations
@@ -18,9 +23,12 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import StoreError
-from repro.flows.filter import FilterNode, compile_filter
-from repro.flows.record import FlowRecord
+from repro.flows.filter import FilterNode, compile_filter, compile_mask
+from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
 
 __all__ = ["SliceInfo", "FlowStore"]
@@ -36,6 +44,28 @@ class SliceInfo:
     flows: int
     packets: int
     bytes: int
+
+
+class _Slice:
+    """One rotation slice: consolidated table chunks + pending inserts."""
+
+    __slots__ = ("chunks", "pending")
+
+    def __init__(self) -> None:
+        self.chunks: list[FlowTable] = []
+        self.pending: list[FlowRecord] = []
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self.chunks) + len(self.pending)
+
+    def table(self) -> FlowTable:
+        """Consolidate pending records and chunks into one table."""
+        if self.pending:
+            self.chunks.append(FlowTable.from_records(self.pending))
+            self.pending = []
+        if len(self.chunks) > 1:
+            self.chunks = [FlowTable.concat(self.chunks)]
+        return self.chunks[0] if self.chunks else FlowTable.empty()
 
 
 class FlowStore:
@@ -62,19 +92,22 @@ class FlowStore:
             )
         self.slice_seconds = float(slice_seconds)
         self._origin = origin
-        self._slices: dict[int, list[FlowRecord]] = {}
+        self._slices: dict[int, _Slice] = {}
         self._total_flows = 0
 
     # -- insertion -------------------------------------------------------
 
-    def insert(self, flow: FlowRecord) -> None:
-        """Insert a single flow record."""
+    def _fix_origin(self, first_start: float) -> None:
         if self._origin is None:
             self._origin = math.floor(
-                flow.start / self.slice_seconds
+                first_start / self.slice_seconds
             ) * self.slice_seconds
+
+    def insert(self, flow: FlowRecord) -> None:
+        """Insert a single flow record."""
+        self._fix_origin(flow.start)
         index = self._slice_index(flow.start)
-        self._slices.setdefault(index, []).append(flow)
+        self._slices.setdefault(index, _Slice()).pending.append(flow)
         self._total_flows += 1
 
     def insert_many(self, flows: Iterable[FlowRecord]) -> int:
@@ -85,6 +118,25 @@ class FlowStore:
             count += 1
         return count
 
+    def insert_table(self, table: FlowTable) -> int:
+        """Bulk-insert a columnar chunk, partitioning rows by slice.
+
+        This is the vectorized ingest path: slice assignment happens
+        with one floor-divide over the start column instead of one
+        Python call per flow. Returns the number of rows inserted.
+        """
+        if not len(table):
+            return 0
+        self._fix_origin(float(table.start[0]))
+        indices = np.floor(
+            (table.start - self.origin) / self.slice_seconds
+        ).astype(np.int64)
+        for index in np.unique(indices):
+            chunk = table.select(indices == index)
+            self._slices.setdefault(int(index), _Slice()).chunks.append(chunk)
+        self._total_flows += len(table)
+        return len(table)
+
     @classmethod
     def from_trace(
         cls, trace: FlowTrace, slice_seconds: float | None = None
@@ -94,7 +146,7 @@ class FlowStore:
             slice_seconds=slice_seconds or trace.bin_seconds,
             origin=trace.origin,
         )
-        store.insert_many(trace)
+        store.insert_table(trace.table)
         return store
 
     # -- geometry ----------------------------------------------------------
@@ -116,16 +168,16 @@ class FlowStore:
         """Metadata for every populated slice, ordered by time."""
         infos = []
         for index in sorted(self._slices):
-            flows = self._slices[index]
+            table = self._slices[index].table()
             start, end = self.slice_interval(index)
             infos.append(
                 SliceInfo(
                     index=index,
                     start=start,
                     end=end,
-                    flows=len(flows),
-                    packets=sum(f.packets for f in flows),
-                    bytes=sum(f.bytes for f in flows),
+                    flows=len(table),
+                    packets=table.total_packets(),
+                    bytes=table.total_bytes(),
                 )
             )
         return infos
@@ -135,6 +187,61 @@ class FlowStore:
 
     # -- queries ------------------------------------------------------------
 
+    def _window_tables(self, start: float, end: float) -> list[FlowTable]:
+        """Per-slice tables time-masked to ``[start, end)``, slice order."""
+        if end < start:
+            raise StoreError(f"inverted interval [{start}, {end})")
+        if self._origin is None or not self._slices:
+            return []
+        first = self._slice_index(start)
+        last = self._slice_index(end)
+        if (self.origin + last * self.slice_seconds) == end:
+            last -= 1  # half-open interval: skip the slice starting at end
+        selected = []
+        for index in range(first, last + 1):
+            entry = self._slices.get(index)
+            if entry is None:
+                continue
+            table = entry.table()
+            starts = table.start
+            mask = (starts >= start) & (starts < end)
+            if mask.all():
+                selected.append(table)
+            elif mask.any():
+                selected.append(table.select(mask))
+        return selected
+
+    def query_table(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> FlowTable:
+        """Columnar query: rows starting in ``[start, end)`` matching
+        ``flow_filter``, ordered by ``(start, 5-tuple)``.
+
+        This is the nfdump equivalent of
+        ``nfdump -R <files covering range> '<filter>'`` with no
+        per-record Python work: the filter runs as a boolean mask and
+        the result stays a table slice.
+        """
+        table = FlowTable.concat(self._window_tables(start, end))
+        if flow_filter is not None and len(table):
+            table = table.select(compile_mask(flow_filter)(table))
+        if len(table) > 1:
+            order = np.lexsort(
+                (
+                    table.proto,
+                    table.dst_port,
+                    table.src_port,
+                    table.dst_ip,
+                    table.src_ip,
+                    table.start,
+                )
+            )
+            table = table.select(order)
+        return table
+
     def query(
         self,
         start: float,
@@ -143,32 +250,16 @@ class FlowStore:
     ) -> list[FlowRecord]:
         """All flows starting in ``[start, end)`` matching ``flow_filter``.
 
-        This is the nfdump equivalent of
-        ``nfdump -R <files covering range> '<filter>'``.
+        Record-based view of :meth:`query_table` (same rows, same
+        order), kept for callers that still consume ``FlowRecord``.
         """
-        if end < start:
-            raise StoreError(f"inverted interval [{start}, {end})")
-        predicate: Callable[[FlowRecord], bool] | None = None
-        if flow_filter is not None:
-            predicate = compile_filter(flow_filter)
-        results = []
-        for flow in self._scan(start, end):
-            if predicate is None or predicate(flow):
-                results.append(flow)
-        results.sort(key=lambda f: (f.start, f.key))
-        return results
+        return self.query_table(start, end, flow_filter).to_records()
 
     def _scan(self, start: float, end: float) -> Iterator[FlowRecord]:
-        if self._origin is None:
-            return
-        first = self._slice_index(start)
-        last = self._slice_index(end)
-        if (self.origin + last * self.slice_seconds) == end:
-            last -= 1  # half-open interval: skip the slice starting at end
-        for index in range(first, last + 1):
-            for flow in self._slices.get(index, ()):
-                if start <= flow.start < end:
-                    yield flow
+        # cache=False: a statistics walk over the archive must not pin
+        # a FlowRecord per row on the long-lived slice tables.
+        for table in self._window_tables(start, end):
+            yield from table.records(cache=False)
 
     def count(
         self,
@@ -176,25 +267,31 @@ class FlowStore:
         end: float,
         flow_filter: str | FilterNode | None = None,
     ) -> TraceStats:
-        """Aggregate counters over a query without materialising flows."""
-        predicate: Callable[[FlowRecord], bool] | None = None
+        """Aggregate counters over a query without materialising flows.
+
+        A degenerate interval (``end < start``) yields empty stats, as
+        it always has — only :meth:`query` treats it as an error.
+        """
+        if end < start:
+            return TraceStats(
+                flows=0, packets=0, bytes=0, start=start, end=start
+            )
+        tables = self._window_tables(start, end)
         if flow_filter is not None:
-            predicate = compile_filter(flow_filter)
-        flows = packets = bytes_ = 0
-        first = math.inf
-        last = -math.inf
-        for flow in self._scan(start, end):
-            if predicate is not None and not predicate(flow):
-                continue
-            flows += 1
-            packets += flow.packets
-            bytes_ += flow.bytes
-            first = min(first, flow.start)
-            last = max(last, flow.end)
+            mask_of = compile_mask(flow_filter)
+            tables = [t.select(mask_of(t)) for t in tables]
+            tables = [t for t in tables if len(t)]
+        flows = sum(len(t) for t in tables)
         if flows == 0:
-            first = last = start
+            return TraceStats(
+                flows=0, packets=0, bytes=0, start=start, end=start
+            )
         return TraceStats(
-            flows=flows, packets=packets, bytes=bytes_, start=first, end=last
+            flows=flows,
+            packets=sum(t.total_packets() for t in tables),
+            bytes=sum(t.total_bytes() for t in tables),
+            start=min(float(t.start.min()) for t in tables),
+            end=max(float(t.end.max()) for t in tables),
         )
 
     def top_talkers(
@@ -209,11 +306,15 @@ class FlowStore:
         """Top-``n`` aggregation, nfdump's ``-s`` statistics mode.
 
         ``key`` extracts the aggregation key from a flow (e.g.
-        ``lambda f: f.src_ip``); ``weight`` the contribution (defaults to
-        flow count).
+        ``lambda f: f.src_ip``); ``weight`` the contribution (defaults
+        to flow count). Arbitrary callables keep this on the record
+        path; for plain feature rankings use the vectorized
+        :meth:`top_feature_values`.
         """
         if n <= 0:
             raise StoreError(f"n must be positive: {n!r}")
+        if end < start:
+            return []
         predicate: Callable[[FlowRecord], bool] | None = None
         if flow_filter is not None:
             predicate = compile_filter(flow_filter)
@@ -226,6 +327,38 @@ class FlowStore:
             totals[group] = totals.get(group, 0) + amount
         ranked = sorted(totals.items(), key=lambda kv: (-kv[1], str(kv[0])))
         return ranked[:n]
+
+    def top_feature_values(
+        self,
+        start: float,
+        end: float,
+        feature: FlowFeature,
+        n: int = 10,
+        by_packets: bool = False,
+        flow_filter: str | FilterNode | None = None,
+    ) -> list[tuple[int, int]]:
+        """Vectorized top-``n`` values of one flow feature.
+
+        Equivalent to ``top_talkers`` keyed on ``feature`` (same
+        ordering, including the string tie-break), but aggregates with
+        ``np.unique``/``np.bincount`` over the feature column.
+        """
+        if n <= 0:
+            raise StoreError(f"n must be positive: {n!r}")
+        if end < start:
+            return []
+        from repro.flows.aggregate import feature_histogram
+
+        table = self.query_table(start, end, flow_filter)
+        if not len(table):
+            return []
+        histogram = feature_histogram(
+            table, feature, "packets" if by_packets else "flows"
+        )
+        ranked = sorted(
+            histogram.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        return [(int(v), int(c)) for v, c in ranked[:n]]
 
     def to_trace(
         self,
@@ -243,7 +376,7 @@ class FlowStore:
         lo = self.slice_interval(indices[0])[0] if start is None else start
         hi = self.slice_interval(indices[-1])[1] if end is None else end
         return FlowTrace(
-            self.query(lo, hi),
+            self.query_table(lo, hi),
             bin_seconds=bin_seconds or self.slice_seconds,
             origin=self.origin,
         )

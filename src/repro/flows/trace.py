@@ -1,20 +1,30 @@
-"""Flow-trace container with time binning.
+"""Flow-trace container with time binning, backed by a columnar core.
 
 Detectors in the paper operate on fixed time bins (5-minute intervals in
 the GEANT deployment); the extraction step then pulls all flows of the
-alarmed bin(s). :class:`FlowTrace` holds an ordered collection of flow
-records plus the bin geometry and provides slicing, binning and summary
-statistics without copying records.
+alarmed bin(s). :class:`FlowTrace` holds an ordered collection of flows
+plus the bin geometry and provides slicing, binning and summary
+statistics.
+
+Since the columnar refactor the trace stores its flows as a
+:class:`~repro.flows.table.FlowTable` sorted by start time. Window and
+bin queries come in two flavours: the historical record-based API
+(:meth:`between`, :meth:`bin`, iteration — which lazily materializes
+:class:`FlowRecord` objects and caches them) and the columnar API
+(:meth:`between_table`, :meth:`bin_table`, :meth:`filter`) that stays
+vectorized end to end.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 from repro.errors import StoreError
 from repro.flows.record import FlowRecord
+from repro.flows.table import FlowTable
 
 __all__ = ["TraceStats", "FlowTrace", "DEFAULT_BIN_SECONDS"]
 
@@ -39,75 +49,91 @@ class TraceStats:
 
 
 class FlowTrace:
-    """An ordered, time-binned collection of flow records.
+    """An ordered, time-binned collection of flows.
 
-    Records are kept sorted by start time; all queries are by flow *start*
+    Rows are kept sorted by start time; all queries are by flow *start*
     time, matching how NfDump assigns flows to capture files.
     """
 
     def __init__(
         self,
-        flows: Iterable[FlowRecord] = (),
+        flows: Iterable[FlowRecord] | FlowTable = (),
         bin_seconds: float = DEFAULT_BIN_SECONDS,
         origin: float | None = None,
     ) -> None:
         if bin_seconds <= 0:
             raise StoreError(f"bin_seconds must be positive: {bin_seconds!r}")
-        self._flows: list[FlowRecord] = sorted(flows, key=lambda f: f.start)
-        self._starts: list[float] = [f.start for f in self._flows]
+        table = flows if isinstance(flows, FlowTable) \
+            else FlowTable.from_records(flows)
+        self._table = table.sorted_by_start()
         self.bin_seconds = float(bin_seconds)
         if origin is None:
-            origin = self._flows[0].start if self._flows else 0.0
+            origin = float(self._table.start[0]) if len(self._table) else 0.0
         #: Timestamp of the left edge of bin 0.
         self.origin = float(origin)
 
     # -- construction ------------------------------------------------------
 
-    def extend(self, flows: Iterable[FlowRecord]) -> None:
+    @classmethod
+    def from_table(
+        cls,
+        table: FlowTable,
+        bin_seconds: float = DEFAULT_BIN_SECONDS,
+        origin: float | None = None,
+    ) -> "FlowTrace":
+        """Build a trace over an existing table (no copy if sorted)."""
+        return cls(table, bin_seconds=bin_seconds, origin=origin)
+
+    def extend(self, flows: Iterable[FlowRecord] | FlowTable) -> None:
         """Merge more flows into the trace, keeping order."""
-        added = list(flows)
-        if not added:
+        added = flows if isinstance(flows, FlowTable) \
+            else FlowTable.from_records(flows)
+        if not len(added):
             return
-        self._flows.extend(added)
-        self._flows.sort(key=lambda f: f.start)
-        self._starts = [f.start for f in self._flows]
+        merged = FlowTable.concat([self._table, added])
+        self._table = merged.sorted_by_start()
 
     def copy(self) -> "FlowTrace":
-        """Shallow copy (records are immutable, so this is cheap)."""
+        """Shallow copy (tables are never mutated, so this is cheap)."""
         clone = FlowTrace(bin_seconds=self.bin_seconds, origin=self.origin)
-        clone._flows = list(self._flows)
-        clone._starts = list(self._starts)
+        clone._table = self._table
         return clone
 
     # -- basic container protocol ------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._flows)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[FlowRecord]:
-        return iter(self._flows)
+        return iter(self._table.to_records())
 
     def __getitem__(self, index: int) -> FlowRecord:
-        return self._flows[index]
+        return self._table[index]
 
     def __bool__(self) -> bool:
-        return bool(self._flows)
+        return bool(self._table)
+
+    @property
+    def table(self) -> FlowTable:
+        """The columnar view of the trace (sorted by start time)."""
+        return self._table
 
     # -- time geometry -------------------------------------------------------
 
     @property
     def span(self) -> tuple[float, float]:
         """``(first_start, last_start)`` or ``(origin, origin)`` if empty."""
-        if not self._flows:
+        if not len(self._table):
             return (self.origin, self.origin)
-        return (self._starts[0], self._starts[-1])
+        starts = self._table.start
+        return (float(starts[0]), float(starts[-1]))
 
     @property
     def bin_count(self) -> int:
         """Number of bins from ``origin`` through the last flow start."""
-        if not self._flows:
+        if not len(self._table):
             return 0
-        last = self._starts[-1]
+        last = float(self._table.start[-1])
         if last < self.origin:
             return 0
         return int((last - self.origin) // self.bin_seconds) + 1
@@ -123,30 +149,72 @@ class FlowTrace:
 
     # -- queries -------------------------------------------------------------
 
-    def between(self, start: float, end: float) -> list[FlowRecord]:
-        """Flows whose start time lies in ``[start, end)``."""
+    def _window_bounds(self, start: float, end: float) -> tuple[int, int]:
         if end < start:
             raise StoreError(f"inverted interval [{start}, {end})")
-        lo = bisect.bisect_left(self._starts, start)
-        hi = bisect.bisect_left(self._starts, end)
-        return self._flows[lo:hi]
+        starts = self._table.start
+        lo = int(np.searchsorted(starts, start, side="left"))
+        hi = int(np.searchsorted(starts, end, side="left"))
+        return lo, hi
+
+    def between(self, start: float, end: float) -> list[FlowRecord]:
+        """Flows whose start time lies in ``[start, end)``."""
+        lo, hi = self._window_bounds(start, end)
+        return self._table.records(lo, hi)
+
+    def between_table(self, start: float, end: float) -> FlowTable:
+        """Columnar window query: rows starting in ``[start, end)``."""
+        lo, hi = self._window_bounds(start, end)
+        return self._table.select(slice(lo, hi))
 
     def bin(self, index: int) -> list[FlowRecord]:
         """Flows starting inside bin ``index``."""
         start, end = self.bin_interval(index)
         return self.between(start, end)
 
+    def bin_table(self, index: int) -> FlowTable:
+        """Columnar slice of bin ``index``."""
+        start, end = self.bin_interval(index)
+        return self.between_table(start, end)
+
     def bins(self) -> Iterator[tuple[int, list[FlowRecord]]]:
         """Iterate ``(bin_index, flows)`` over all non-negative bins."""
         for index in range(self.bin_count):
             yield index, self.bin(index)
 
+    def bin_tables(self) -> Iterator[tuple[int, FlowTable]]:
+        """Iterate ``(bin_index, table)`` over all non-negative bins."""
+        for index in range(self.bin_count):
+            yield index, self.bin_table(index)
+
     def where(
         self, predicate: Callable[[FlowRecord], bool]
     ) -> "FlowTrace":
         """New trace holding only flows satisfying ``predicate``."""
+        records = self._table.to_records()
+        if records:
+            mask = np.fromiter(
+                (predicate(f) for f in records), dtype=bool,
+                count=len(records),
+            )
+            selected = self._table.select(mask)
+        else:
+            selected = self._table
         return FlowTrace(
-            (f for f in self._flows if predicate(f)),
+            selected, bin_seconds=self.bin_seconds, origin=self.origin
+        )
+
+    def filter(self, expression) -> "FlowTrace":
+        """New trace of the rows matching an nfdump-style expression.
+
+        The columnar counterpart of :meth:`where`: the expression is
+        compiled to a vectorized mask, no records are materialized.
+        """
+        from repro.flows.filter import compile_mask
+
+        mask = compile_mask(expression)(self._table)
+        return FlowTrace(
+            self._table.select(mask),
             bin_seconds=self.bin_seconds,
             origin=self.origin,
         )
@@ -158,23 +226,21 @@ class FlowTrace:
     ) -> TraceStats:
         """Aggregate counters over the whole trace or a sub-interval."""
         if start is None and end is None:
-            selected: Sequence[FlowRecord] = self._flows
+            selected = self._table
         else:
             span = self.span
             lo = span[0] if start is None else start
             hi = span[1] + 1.0 if end is None else end
-            selected = self.between(lo, hi)
-        packets = sum(f.packets for f in selected)
-        bytes_ = sum(f.bytes for f in selected)
-        if selected:
-            first = min(f.start for f in selected)
-            last = max(f.end for f in selected)
+            selected = self.between_table(lo, hi)
+        if len(selected):
+            first = float(selected.start.min())
+            last = float(selected.end.max())
         else:
             first = last = self.origin
         return TraceStats(
             flows=len(selected),
-            packets=packets,
-            bytes=bytes_,
+            packets=selected.total_packets(),
+            bytes=selected.total_bytes(),
             start=first,
             end=last,
         )

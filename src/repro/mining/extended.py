@@ -31,6 +31,7 @@ from typing import Callable, Iterable
 
 from repro.errors import MiningError
 from repro.flows.record import FLOW_FEATURES, FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
 from repro.mining.apriori import mine_apriori
 from repro.mining.eclat import mine_eclat
 from repro.mining.fpgrowth import mine_fpgrowth
@@ -187,12 +188,13 @@ class ExtendedApriori:
 
     def mine(
         self,
-        flows: Iterable[FlowRecord] | TransactionSet,
+        flows: "Iterable[FlowRecord] | FlowTable | TransactionSet",
     ) -> MiningOutcome:
         """Mine with self-tuned thresholds.
 
-        Accepts raw flows (encoded on the fly) or a pre-built
-        :class:`TransactionSet`.
+        Accepts raw flows or a columnar :class:`FlowTable` (encoded on
+        the fly — the table takes the vectorized ``from_table`` intern
+        path) or a pre-built :class:`TransactionSet`.
         """
         cfg = self.config
         if isinstance(flows, TransactionSet):

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from repro.errors import MiningError
 from repro.flows.record import (
     FLOW_FEATURES,
@@ -21,6 +23,7 @@ from repro.flows.record import (
     feature_value,
     format_feature_value,
 )
+from repro.flows.table import FlowTable
 
 __all__ = ["Item", "Itemset", "ItemsetSupport", "itemset_from_signature"]
 
@@ -59,6 +62,10 @@ class Item:
     def matches(self, flow: FlowRecord) -> bool:
         """True when the flow carries this feature value."""
         return feature_value(flow, self.feature) == self.value
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        """Boolean mask of the table rows carrying this feature value."""
+        return table.feature_column(self.feature) == self.value
 
 
 class Itemset:
@@ -140,6 +147,18 @@ class Itemset:
             feature_value(flow, feature) == value
             for feature, value in self._by_feature.items()
         )
+
+    def mask(self, table: FlowTable) -> np.ndarray:
+        """Boolean mask of the table rows carrying every item.
+
+        The columnar equivalent of :meth:`matches`; candidate filtering
+        and flow-set intersection in the extraction layer run on these
+        masks and row-index arrays instead of per-flow loops.
+        """
+        result = np.ones(len(table), dtype=bool)
+        for feature, value in self._by_feature.items():
+            result &= table.feature_column(feature) == value
+        return result
 
     # -- rendering ---------------------------------------------------------------
 

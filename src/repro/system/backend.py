@@ -15,11 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.detect.base import Alarm
 from repro.errors import StoreError
 from repro.flows.filter import FilterNode
 from repro.flows.record import FlowFeature, FlowRecord
 from repro.flows.store import FlowStore
+from repro.flows.table import FlowTable
 from repro.flows.trace import FlowTrace
 from repro.mining.items import Itemset
 
@@ -72,12 +75,24 @@ class FlowBackend:
         start, end = self.windows_for(alarm).interval
         return self.store.query(start, end)
 
+    def alarm_table(self, alarm: Alarm) -> FlowTable:
+        """Columnar view of the (padded) alarm interval."""
+        start, end = self.windows_for(alarm).interval
+        return self.store.query_table(start, end)
+
     def baseline_flows(self, alarm: Alarm) -> list[FlowRecord]:
         """Flows of the pre-alarm baseline window (may be empty)."""
         start, end = self.windows_for(alarm).baseline
         if end <= start:
             return []
         return self.store.query(start, end)
+
+    def baseline_table(self, alarm: Alarm) -> FlowTable:
+        """Columnar view of the pre-alarm baseline window."""
+        start, end = self.windows_for(alarm).baseline
+        if end <= start:
+            return FlowTable.empty()
+        return self.store.query_table(start, end)
 
     # -- drill-down ---------------------------------------------------------
 
@@ -91,19 +106,20 @@ class FlowBackend:
         """Raw flows matching an extracted itemset in a window.
 
         This is the GUI's "investigate the flows of any returned
-        itemset" action. Flows come back heaviest (packets) first.
+        itemset" action. Flows come back heaviest (packets) first. The
+        intersection runs as a mask over the window's table; only the
+        reported flows are materialized.
         """
-        matched = [
-            flow
-            for flow in self.store.query(start, end)
-            if itemset.matches(flow)
-        ]
-        matched.sort(key=lambda f: (-f.packets, f.start))
+        if limit is not None and limit < 1:
+            raise StoreError(f"limit must be >= 1: {limit!r}")
+        window = self.store.query_table(start, end)
+        matched = window.select(itemset.mask(window))
+        if len(matched) > 1:
+            order = np.lexsort((matched.start, -matched.packets))
+            matched = matched.select(order)
         if limit is not None:
-            if limit < 1:
-                raise StoreError(f"limit must be >= 1: {limit!r}")
-            matched = matched[:limit]
-        return matched
+            matched = matched.select(slice(0, limit))
+        return matched.to_records()
 
     # -- ad-hoc queries ----------------------------------------------------------
 
@@ -116,6 +132,15 @@ class FlowBackend:
         """nfdump-style filtered query (delegates to the store)."""
         return self.store.query(start, end, flow_filter)
 
+    def query_table(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> FlowTable:
+        """Columnar nfdump-style query (delegates to the store)."""
+        return self.store.query_table(start, end, flow_filter)
+
     def top_feature_values(
         self,
         start: float,
@@ -124,15 +149,7 @@ class FlowBackend:
         n: int = 10,
         by_packets: bool = False,
     ) -> list[tuple[int, int]]:
-        """Top-N values of a flow feature in a window."""
-        from repro.flows.record import feature_value
-
-        weight = (lambda f: f.packets) if by_packets else None
-        ranked = self.store.top_talkers(
-            start,
-            end,
-            key=lambda f: feature_value(f, feature),
-            n=n,
-            weight=weight,
+        """Top-N values of a flow feature in a window (vectorized)."""
+        return self.store.top_feature_values(
+            start, end, feature, n=n, by_packets=by_packets
         )
-        return [(int(value), count) for value, count in ranked]  # type: ignore[arg-type]

@@ -92,15 +92,15 @@ class ExtractionSystem:
         """
         if isinstance(alarm, str):
             alarm = self.alarmdb.get(alarm)
-        interval_flows = self.backend.alarm_flows(alarm)
-        if not interval_flows:
+        interval_table = self.backend.alarm_table(alarm)
+        if not interval_table:
             raise ExtractionError(
                 f"no flows stored for alarm {alarm.alarm_id!r} interval "
                 f"[{alarm.start}, {alarm.end})"
             )
-        baseline_flows = self.backend.baseline_flows(alarm)
+        baseline_table = self.backend.baseline_table(alarm)
         report = self.extractor.extract(
-            alarm, interval_flows, baseline_flows
+            alarm, interval_table, baseline_table
         )
         try:
             self.alarmdb.set_status(alarm.alarm_id, AlarmStatus.EXTRACTED)

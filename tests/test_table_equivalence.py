@@ -1,0 +1,179 @@
+"""Property tests: record path ≡ columnar path.
+
+The contract of the columnar refactor is that the vectorized pipeline
+is *observationally identical* to the record pipeline it replaces:
+filter masks agree with predicates flow-by-flow, feature histograms are
+equal as multisets, and the transaction encoding interns the same items
+to the same ids. Hypothesis drives all three over randomized flow sets
+and filter expressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.features import compute_bin_features
+from repro.flows.aggregate import (
+    all_feature_histograms,
+    distinct_counts,
+    feature_histogram,
+    top_n,
+)
+from repro.flows.filter import compile_filter, compile_mask, parse_filter
+from repro.flows.record import FLOW_FEATURES, FlowFeature, FlowRecord
+from repro.flows.store import FlowStore
+from repro.flows.table import FlowTable
+from repro.mining.transactions import TransactionSet
+
+# Small value pools keep collision (and therefore interesting masks,
+# histogram merges and shared items) likely.
+_IPS = st.sampled_from(
+    [0x0A000001, 0x0A000002, 0x0A010203, 0xC0A80001, 0xC6336445]
+)
+_PORTS = st.sampled_from([0, 53, 80, 443, 1234, 55548, 65535])
+_PROTOS = st.sampled_from([1, 6, 17, 47])
+
+
+@st.composite
+def flow_records(draw):
+    start = draw(st.floats(min_value=0.0, max_value=1200.0,
+                           allow_nan=False, allow_infinity=False))
+    return FlowRecord(
+        src_ip=draw(_IPS),
+        dst_ip=draw(_IPS),
+        src_port=draw(_PORTS),
+        dst_port=draw(_PORTS),
+        proto=draw(_PROTOS),
+        packets=draw(st.integers(min_value=0, max_value=100_000)),
+        bytes=draw(st.integers(min_value=0, max_value=10_000_000)),
+        start=start,
+        end=start + draw(st.floats(min_value=0.0, max_value=300.0,
+                                   allow_nan=False, allow_infinity=False)),
+        tcp_flags=draw(st.integers(min_value=0, max_value=0x3F)),
+        router=draw(st.integers(min_value=0, max_value=20)),
+        sampling_rate=draw(st.sampled_from([1, 10, 100])),
+    )
+
+
+flow_lists = st.lists(flow_records(), min_size=0, max_size=60)
+
+_FILTER_EXPRESSIONS = [
+    "any",
+    "proto tcp",
+    "proto udp and dst port 80",
+    "src ip 10.0.0.1",
+    "ip in [10.0.0.1 10.0.0.2]",
+    "dst net 10.0.0.0/8",
+    "net 192.168.0.0/16 or proto icmp",
+    "src port >= 1024",
+    "dst port in [53 80 443]",
+    "port 55548",
+    "packets > 1000",
+    "bytes <= 5000",
+    "duration < 60",
+    "flags S and not flags A",
+    "router 3",
+    "not (dst port 80 or dst port 443) and proto tcp",
+    "(src ip 10.0.0.1 or dst ip 10.0.0.2) and packets >= 1",
+]
+
+
+@given(flows=flow_lists, expression=st.sampled_from(_FILTER_EXPRESSIONS))
+@settings(max_examples=150, deadline=None)
+def test_mask_equals_predicate(flows, expression):
+    node = parse_filter(expression)
+    table = FlowTable.from_records(flows, cache_records=False)
+    mask = compile_mask(node)(table)
+    predicate = compile_filter(node)
+    assert mask.tolist() == [predicate(f) for f in flows]
+
+
+@given(flows=flow_lists)
+@settings(max_examples=100, deadline=None)
+def test_record_roundtrip_through_table(flows):
+    table = FlowTable.from_records(flows, cache_records=False)
+    assert table.to_records() == flows
+
+
+@given(flows=flow_lists,
+       weight=st.sampled_from(["flows", "packets", "bytes"]))
+@settings(max_examples=100, deadline=None)
+def test_feature_histograms_identical(flows, weight):
+    table = FlowTable.from_records(flows, cache_records=False)
+    for feature in FLOW_FEATURES:
+        assert feature_histogram(table, feature, weight) == \
+            feature_histogram(flows, feature, weight)
+    assert all_feature_histograms(table, weight) == \
+        all_feature_histograms(flows, weight)
+
+
+@given(flows=flow_lists)
+@settings(max_examples=100, deadline=None)
+def test_distinct_counts_and_top_n_identical(flows):
+    table = FlowTable.from_records(flows, cache_records=False)
+    assert distinct_counts(table) == distinct_counts(flows)
+    for feature in FLOW_FEATURES:
+        assert top_n(table, feature, n=3) == top_n(flows, feature, n=3)
+
+
+@given(flows=st.lists(flow_records(), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_transaction_encoding_identical(flows):
+    table = FlowTable.from_records(flows, cache_records=False)
+    by_records = TransactionSet.from_flows(flows)
+    by_table = TransactionSet.from_table(table)
+    assert by_table.item_count == by_records.item_count
+    assert [by_table.item(i) for i in range(by_table.item_count)] == \
+        [by_records.item(i) for i in range(by_records.item_count)]
+    assert list(by_table) == list(by_records)
+    assert by_table.total_flows == by_records.total_flows
+    assert by_table.total_packets == by_records.total_packets
+    assert by_table.total_bytes == by_records.total_bytes
+
+
+@given(flows=st.lists(flow_records(), min_size=1, max_size=60),
+       features=st.sampled_from([
+           (FlowFeature.SRC_IP, FlowFeature.DST_IP),
+           (FlowFeature.DST_IP, FlowFeature.DST_PORT, FlowFeature.PROTO),
+           FLOW_FEATURES,
+       ]))
+@settings(max_examples=60, deadline=None)
+def test_transaction_encoding_feature_subsets(flows, features):
+    table = FlowTable.from_records(flows, cache_records=False)
+    by_records = TransactionSet.from_flows(iter(flows), features=features)
+    by_table = TransactionSet.from_table(table, features=features)
+    assert list(by_table) == list(by_records)
+    assert [by_table.item(i) for i in range(by_table.item_count)] == \
+        [by_records.item(i) for i in range(by_records.item_count)]
+
+
+@given(flows=st.lists(flow_records(), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_bin_features_match(flows):
+    table = FlowTable.from_records(flows, cache_records=False)
+    vectorized = compute_bin_features(table)
+    scalar = compute_bin_features(flows)
+    assert vectorized.flows == scalar.flows
+    assert vectorized.packets == scalar.packets
+    assert vectorized.bytes == scalar.bytes
+    np.testing.assert_allclose(
+        vectorized.as_array()[3:], scalar.as_array()[3:], rtol=1e-9,
+        atol=1e-12,
+    )
+
+
+@given(flows=flow_lists, expression=st.sampled_from(_FILTER_EXPRESSIONS))
+@settings(max_examples=60, deadline=None)
+def test_store_query_orders_match_record_sort(flows, expression):
+    store = FlowStore(slice_seconds=300.0)
+    store.insert_many(flows)
+    lo = min((f.start for f in flows), default=0.0)
+    hi = max((f.start for f in flows), default=0.0) + 1.0
+    result = store.query(lo, hi, expression)
+    predicate = compile_filter(expression)
+    expected = sorted(
+        (f for f in flows if predicate(f)),
+        key=lambda f: (f.start, f.key),
+    )
+    assert result == expected
