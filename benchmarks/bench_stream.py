@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Streaming engine benchmark: sustained ingest, latency, replay.
+
+Three measurements over a synthetic mixed-traffic stream:
+
+* **sustained ingest** — flows/second through the full online path
+  (window routing, incremental detector updates, window closes, alarm
+  DB inserts) replaying the live segment at max rate;
+* **per-chunk update latency** — wall time of ``StreamEngine.process``
+  per arriving chunk (mean / p99 / max), i.e. the latency budget a
+  collector feeding the engine must plan for;
+* **replay pacing** — achieved speedup of a rate-limited replay
+  against its 600x target.
+
+Run:  PYTHONPATH=src python benchmarks/bench_stream.py [--flows N]
+
+Writes ``BENCH_stream.json``; ``--check`` gates on the 100k flows/s
+acceptance floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detect.netreflex import NetReflexDetector  # noqa: E402
+from repro.flows.table import FlowTable  # noqa: E402
+from repro.flows.trace import FlowTrace  # noqa: E402
+from repro.stream import (  # noqa: E402
+    ReplayDriver,
+    StreamEngine,
+    streaming_adapter,
+)
+
+WINDOW_SECONDS = 300.0
+TRAIN_WINDOWS = 5
+LIVE_WINDOWS = 10
+CHUNK_ROWS = 16_384
+ACCEPTANCE_FLOWS_PER_SEC = 100_000.0
+
+
+def synth_table(count: int, span: float, seed: int = 7) -> FlowTable:
+    """Plausible mixed traffic: web-heavy, a little DNS/ICMP."""
+    rng = np.random.default_rng(seed)
+    start = np.sort(rng.uniform(0.0, span, count))
+    return FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0AFFFFFF, count),
+        dst_ip=np.where(
+            rng.random(count) < 0.7,
+            rng.integers(0x0A000000, 0x0AFFFFFF, count),
+            rng.integers(0xC0A80000, 0xC0A8FFFF, count),
+        ),
+        src_port=rng.integers(1024, 65536, count),
+        dst_port=rng.choice(np.array([53, 80, 443, 8080, 25, 123]), count),
+        proto=rng.choice(np.array([6, 6, 6, 17, 1]), count),
+        packets=rng.integers(1, 2000, count),
+        bytes=rng.integers(40, 1_000_000, count),
+        start=start,
+        end=start + rng.uniform(0.0, 120.0, count),
+        tcp_flags=rng.integers(0, 0x40, count),
+        router=rng.integers(0, 23, count),
+        sampling_rate=np.ones(count, dtype=np.int64),
+    )
+
+
+def build_engine(detector: NetReflexDetector, origin: float) -> StreamEngine:
+    return StreamEngine(
+        [streaming_adapter(detector)],
+        window_seconds=WINDOW_SECONDS,
+        origin=origin,
+        lateness_seconds=0.0,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flows", type=int, default=150_000,
+                        help="flows in the live (streamed) segment")
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent
+                             / "BENCH_stream.json")
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when sustained ingest misses the "
+             f"{ACCEPTANCE_FLOWS_PER_SEC:,.0f} flows/s floor "
+             "(meaningful at the default 150k flows)",
+    )
+    args = parser.parse_args()
+
+    train_span = TRAIN_WINDOWS * WINDOW_SECONDS
+    live_span = LIVE_WINDOWS * WINDOW_SECONDS
+    train_flows = max(1000, args.flows // 3)
+    training = FlowTrace(
+        synth_table(train_flows, train_span, seed=3),
+        bin_seconds=WINDOW_SECONDS, origin=0.0,
+    )
+    live = synth_table(args.flows, live_span, seed=7).sorted_by_start()
+
+    detector = NetReflexDetector()
+    detector.train(training)
+
+    # -- sustained ingest at max rate ------------------------------------
+    engine = build_engine(detector, origin=0.0)
+    chunk_times: list[float] = []
+    chunks = list(ReplayDriver(live, chunk_rows=CHUNK_ROWS).chunks())
+    t0 = time.perf_counter()
+    for chunk in chunks:
+        c0 = time.perf_counter()
+        engine.process(chunk)
+        chunk_times.append(time.perf_counter() - c0)
+    engine.finish()
+    ingest_wall = time.perf_counter() - t0
+    flows_per_sec = args.flows / ingest_wall
+
+    latencies = np.array(chunk_times)
+    latency = {
+        "chunks": len(chunk_times),
+        "chunk_rows": CHUNK_ROWS,
+        "mean_ms": float(latencies.mean() * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "max_ms": float(latencies.max() * 1e3),
+    }
+
+    # -- paced replay: how close do we get to a 600x target? -------------
+    target_speedup = 600.0
+    paced_engine = build_engine(detector, origin=0.0)
+    paced_driver = ReplayDriver(
+        live, speedup=target_speedup, chunk_rows=CHUNK_ROWS
+    )
+    paced_driver.replay(paced_engine)
+    paced = paced_driver.last_stats
+    assert paced is not None
+
+    payload = {
+        "benchmark": "stream_engine_online_path",
+        "flows": args.flows,
+        "windows": LIVE_WINDOWS,
+        "window_seconds": WINDOW_SECONDS,
+        "detector": detector.name,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "sustained": {
+            "wall_s": ingest_wall,
+            "flows_per_sec": flows_per_sec,
+            "windows_closed": engine.stats.windows_closed,
+            "alarms": engine.stats.alarms,
+        },
+        "chunk_latency": latency,
+        "paced_replay": {
+            "target_speedup": target_speedup,
+            "achieved_speedup": paced.achieved_speedup,
+            "wall_s": paced.wall_seconds,
+            "event_s": paced.event_seconds,
+        },
+        "acceptance_min_flows_per_sec": ACCEPTANCE_FLOWS_PER_SEC,
+        "acceptance_pass": flows_per_sec >= ACCEPTANCE_FLOWS_PER_SEC,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"streamed {args.flows} flows over {LIVE_WINDOWS} windows:")
+    print(f"  sustained ingest  {flows_per_sec:12,.0f} flows/s "
+          f"({ingest_wall:.2f}s wall, "
+          f"{engine.stats.windows_closed} windows, "
+          f"{engine.stats.alarms} alarms)")
+    print(f"  chunk latency     mean {latency['mean_ms']:.2f} ms   "
+          f"p99 {latency['p99_ms']:.2f} ms   "
+          f"max {latency['max_ms']:.2f} ms")
+    print(f"  paced replay      {paced.achieved_speedup:,.0f}x achieved "
+          f"(target {target_speedup:,.0f}x)")
+    print(f"wrote {args.out}")
+    if args.check and flows_per_sec < ACCEPTANCE_FLOWS_PER_SEC:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

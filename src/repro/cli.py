@@ -1,6 +1,6 @@
 """Command-line interface to the anomaly-extraction system.
 
-Four subcommands mirror the deployment workflow::
+Five subcommands mirror the deployment workflow::
 
     python -m repro.cli synth   --out trace.rpv5 --bins 6 --seed 7 \\
         --anomaly port-scan --anomaly udp-flood
@@ -8,12 +8,17 @@ Four subcommands mirror the deployment workflow::
     python -m repro.cli detect  trace.rpv5 --train-bins 8
     python -m repro.cli extract trace.rpv5 --start 1200 --end 1500 \\
         --hint dstIP=10.9.0.4 --hint srcPort=55548
+    python -m repro.cli stream  trace.rpv5 --train-bins 8 --speedup 60 \\
+        --triage
 
 ``synth`` writes a labelled trace through the NetFlow v5 binary codec
-(the format ``query``/``detect``/``extract`` read back); ``detect``
-trains the NetReflex-like detector on the leading bins and prints the
-alarms of the rest; ``extract`` runs the full extraction pipeline for a
-window, with optional meta-data hints, and prints the Table-1 view.
+(the format the other commands read back); ``detect`` trains the
+NetReflex-like detector on the leading bins and prints the alarms of
+the rest; ``extract`` runs the full extraction pipeline for a window,
+with optional meta-data hints, and prints the Table-1 view; ``stream``
+replays the trace tail through the online engine — incremental
+detection, alarm DB inserts and (with ``--triage``) live extraction
+reports as windows close.
 """
 
 from __future__ import annotations
@@ -93,6 +98,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="meta-data hint feature=value, e.g. dstIP=10.9.0.4",
     )
     extract.add_argument("--anonymize", action="store_true")
+
+    stream = sub.add_parser(
+        "stream", help="online detection over a replayed trace"
+    )
+    stream.add_argument("trace", help=".rpv5 trace path")
+    stream.add_argument("--train-bins", type=int, default=8,
+                        help="leading bins used as the training window")
+    stream.add_argument("--window", type=float, default=None,
+                        help="window width in seconds "
+                             "(default: the trace bin width)")
+    stream.add_argument("--lateness", type=float, default=0.0,
+                        help="lateness horizon in seconds")
+    stream.add_argument("--speedup", type=float, default=0.0,
+                        help="replay speedup over recorded time; "
+                             "0 = max rate")
+    stream.add_argument("--chunk-rows", type=int, default=8192,
+                        help="flows per ingested chunk")
+    stream.add_argument("--retain-windows", type=int, default=16,
+                        help="windows kept in the live archive ring")
+    stream.add_argument("--dedup-window", type=float, default=None,
+                        help="suppress re-fired alarms within this many "
+                             "seconds (default: off)")
+    stream.add_argument("--triage", action="store_true",
+                        help="triage open alarms against the live ring "
+                             "as windows close")
     return parser
 
 
@@ -237,11 +267,82 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import ReplayDriver, StreamEngine, streaming_adapter
+
+    trace = _load_trace(args.trace)
+    split = trace.origin + args.train_bins * trace.bin_seconds
+    end = trace.span[1] + 1.0
+    if split >= end:
+        print("error: trace too short for the requested training window",
+              file=sys.stderr)
+        return 2
+    training = trace.where(lambda f: f.start < split)
+    tail = trace.between_table(split, end)
+    if not training or not len(tail):
+        print("error: trace too short for the requested training window",
+              file=sys.stderr)
+        return 2
+    detector = NetReflexDetector()
+    detector.train(training)
+    window_seconds = args.window or trace.bin_seconds
+    print(
+        f"trained {detector.name} on {args.train_bins} bins "
+        f"({len(training)} flows); streaming {len(tail)} flows in "
+        f"{window_seconds:.0f}s windows"
+    )
+
+    def on_window(result) -> None:
+        w = result.window
+        print(
+            f"window {w.index} [{w.start:.0f}, {w.end:.0f}) "
+            f"{w.flows} flows"
+        )
+        for alarm in result.alarms:
+            print(f"  ALARM {alarm.describe()}")
+        for merged_id in result.merged:
+            print(f"  merged re-fire into {merged_id}")
+        for triaged in result.triage:
+            status, verdict = engine.alarmdb.status_of(
+                triaged.alarm.alarm_id
+            )
+            print(f"  triage {triaged.alarm.alarm_id} -> {status}: "
+                  f"{verdict}")
+
+    engine = StreamEngine(
+        [streaming_adapter(detector)],
+        window_seconds=window_seconds,
+        origin=split,
+        lateness_seconds=args.lateness,
+        retain_windows=args.retain_windows,
+        dedup_window=args.dedup_window,
+        triage=args.triage,
+        on_window=on_window,
+    )
+    driver = ReplayDriver(
+        tail,
+        speedup=args.speedup or None,
+        chunk_rows=args.chunk_rows,
+    )
+    _, replay_stats = driver.replay(engine)
+    stats = engine.stats
+    print(
+        f"streamed {stats.flows} flows in {replay_stats.wall_seconds:.2f}s "
+        f"({replay_stats.flows_per_second:,.0f} flows/s, "
+        f"{replay_stats.achieved_speedup:,.0f}x recorded time); "
+        f"{stats.windows_closed} windows, {stats.alarms} alarms, "
+        f"{stats.alarms_merged} merged, {stats.triaged} triaged, "
+        f"{stats.late_dropped} late-dropped"
+    )
+    return 0
+
+
 _COMMANDS = {
     "synth": _cmd_synth,
     "query": _cmd_query,
     "detect": _cmd_detect,
     "extract": _cmd_extract,
+    "stream": _cmd_stream,
 }
 
 

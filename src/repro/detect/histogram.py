@@ -24,12 +24,13 @@ from __future__ import annotations
 import statistics
 from collections import Counter
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.detect.base import Alarm, Detector, MetadataItem
 from repro.detect.kl import kl_contributions, kl_distance
 from repro.errors import DetectorError
-from repro.flows.aggregate import WEIGHTINGS
-from repro.flows.record import FlowFeature, FlowRecord, feature_value
+from repro.flows.aggregate import WEIGHTINGS, feature_histogram
+from repro.flows.record import FlowFeature
 from repro.flows.trace import FlowTrace
 
 __all__ = ["HistogramDetectorConfig", "HistogramKLDetector"]
@@ -101,15 +102,26 @@ class HistogramKLDetector(Detector):
     def _bucket(self, value: int) -> int:
         return (value * _KNUTH) % self.config.hash_buckets
 
-    def _bucket_histogram(
-        self, flows: list[FlowRecord], feature: FlowFeature
-    ) -> Counter:
-        weigh = WEIGHTINGS[self.config.weight]
+    def bucket_values(self, values: Mapping[int, int] | Counter) -> Counter:
+        """Fold a raw value histogram into the hashed bucket histogram.
+
+        Integer weights sum exactly, so the result is independent of how
+        ``values`` was accumulated (one pass over a bin's flows or a
+        chunk-merged streaming counter).
+        """
         histogram: Counter = Counter()
-        for flow in flows:
-            histogram[self._bucket(feature_value(flow, feature))] += \
-                weigh(flow)
+        for value, weight in values.items():
+            histogram[self._bucket(value)] += weight
         return histogram
+
+    def _window_values(
+        self, flows
+    ) -> dict[FlowFeature, Counter]:
+        """Per-feature raw value histograms of one bin or window."""
+        return {
+            feature: feature_histogram(flows, feature, self.config.weight)
+            for feature in self.config.features
+        }
 
     # -- training ------------------------------------------------------------
 
@@ -122,12 +134,13 @@ class HistogramKLDetector(Detector):
         per_bin: dict[FlowFeature, list[Counter]] = {
             feature: [] for feature in self.config.features
         }
-        for _, flows in trace.bins():
-            if not flows:
+        for _, table in trace.bin_tables():
+            if not len(table):
                 continue
+            values = self._window_values(table)
             for feature in self.config.features:
                 per_bin[feature].append(
-                    self._bucket_histogram(flows, feature)
+                    self.bucket_values(values[feature])
                 )
         for feature in self.config.features:
             histograms = per_bin[feature]
@@ -173,21 +186,36 @@ class HistogramKLDetector(Detector):
         """Alarm every bin whose KL distance trips any feature threshold."""
         self._require_trained(self._trained)
         alarms = []
-        for index, flows in trace.bins():
-            if not flows:
+        for index, table in trace.bin_tables():
+            if not len(table):
                 continue
-            alarm = self._evaluate_bin(trace, index, flows)
+            start, end = trace.bin_interval(index)
+            alarm = self.evaluate_window(
+                index, start, end, self._window_values(table)
+            )
             if alarm is not None:
                 alarms.append(alarm)
         return alarms
 
-    def _evaluate_bin(
-        self, trace: FlowTrace, index: int, flows: list[FlowRecord]
+    def evaluate_window(
+        self,
+        index: int,
+        start: float,
+        end: float,
+        values: Mapping[FlowFeature, Counter],
     ) -> Alarm | None:
+        """Evaluate one window from per-feature raw value histograms.
+
+        The streaming entry point: ``values`` may come from incremental
+        accumulators; the batch path feeds it the histograms of a trace
+        bin. Both run the identical scoring and attribution code, so
+        streaming and batch detection agree window for window.
+        """
+        self._require_trained(self._trained)
         tripping: list[tuple[FlowFeature, float, Counter]] = []
         max_score = 0.0
         for feature in self.config.features:
-            histogram = self._bucket_histogram(flows, feature)
+            histogram = self.bucket_values(values.get(feature, Counter()))
             distance = kl_distance(histogram, self._reference[feature])
             limit = self.threshold(feature)
             if distance > limit:
@@ -199,8 +227,7 @@ class HistogramKLDetector(Detector):
         if not tripping:
             return None
 
-        metadata = self._build_metadata(tripping, flows)
-        start, end = trace.bin_interval(index)
+        metadata = self._build_metadata(tripping, values)
         feature_names = "+".join(f.value for f, _, _ in tripping)
         return Alarm(
             alarm_id=f"{self.name}-bin{index}",
@@ -215,10 +242,9 @@ class HistogramKLDetector(Detector):
     def _build_metadata(
         self,
         tripping: list[tuple[FlowFeature, float, Counter]],
-        flows: list[FlowRecord],
+        values: Mapping[FlowFeature, Counter],
     ) -> list[MetadataItem]:
         """Map suspicious buckets back to dominant concrete values."""
-        weigh = WEIGHTINGS[self.config.weight]
         metadata = []
         for feature, distance, histogram in tripping:
             contributions = kl_contributions(
@@ -235,15 +261,17 @@ class HistogramKLDetector(Detector):
                 suspicious.add(bucket)
             if not suspicious:
                 continue
-            # Dominant raw values inside the suspicious buckets.
-            value_weights: Counter = Counter()
-            for flow in flows:
-                value = feature_value(flow, feature)
-                if self._bucket(value) in suspicious:
-                    value_weights[value] += weigh(flow)
-            for value, weight in value_weights.most_common(
-                self.config.metadata_per_feature
-            ):
+            # Dominant raw values inside the suspicious buckets (ties
+            # break on the smaller value, independent of counter order).
+            ranked = sorted(
+                (
+                    (value, weight)
+                    for value, weight in values[feature].items()
+                    if self._bucket(value) in suspicious
+                ),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+            for value, weight in ranked[: self.config.metadata_per_feature]:
                 metadata.append(
                     MetadataItem(
                         feature=feature, value=value, weight=float(weight)

@@ -35,9 +35,17 @@ def smooth_distributions(
     Returns probability dictionaries over the same key set, each summing
     to 1.0 (up to float error), with no zero entries.
     """
-    support = set(observed) | set(reference)
-    if not support:
+    union = set(observed) | set(reference)
+    if not union:
         raise DetectorError("cannot smooth two empty histograms")
+    # Deterministic key order: downstream sums then accumulate float
+    # terms in the same order no matter how the histograms were built
+    # (per-record counting vs merged columnar chunks), which keeps the
+    # batch and streaming detection paths bit-identical.
+    try:
+        support: list[Hashable] = sorted(union)  # type: ignore[type-var]
+    except TypeError:
+        support = list(union)
 
     def normalise(histogram: Mapping[Hashable, int]) -> dict[Hashable, float]:
         total = sum(histogram.values())

@@ -21,11 +21,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from repro.detect.base import Alarm, Detector, MetadataItem
-from repro.detect.features import ENTROPY_COLUMNS, build_feature_matrix
+from repro.detect.features import (
+    ENTROPY_COLUMNS,
+    VOLUME_COLUMNS,
+    BinFeatures,
+    build_feature_matrix,
+)
 from repro.detect.pca import PCAModel, fit_pca_model
 from repro.errors import DetectorError
 from repro.flows.aggregate import feature_histogram
@@ -139,46 +145,116 @@ class NetReflexDetector(Detector):
             if spe[row] <= self._model.spe_threshold:
                 continue
             start, end = matrix.bin_interval(row)
-            bin_flows = trace.between(start, end)
-            metadata = self._attribute(bin_flows)
-            label = self._label(matrix.data[row])
-            score = float(spe[row] / self._model.spe_threshold)
+            histograms = self.window_histograms(
+                trace.between_table(start, end)
+            )
             alarms.append(
-                Alarm(
-                    alarm_id=f"{self.name}-bin{matrix.bin_indices[row]}",
-                    detector=self.name,
+                self._make_alarm(
+                    index=matrix.bin_indices[row],
                     start=start,
                     end=end,
-                    score=score,
-                    label=label,
-                    metadata=metadata,
+                    spe=float(spe[row]),
+                    row=matrix.data[row],
+                    histograms=histograms,
                 )
             )
         return alarms
 
+    def evaluate_window(
+        self,
+        index: int,
+        start: float,
+        end: float,
+        features: BinFeatures,
+        histograms: Mapping[tuple[FlowFeature, str], Counter],
+    ) -> Alarm | None:
+        """Evaluate one accumulated window exactly like one detect() bin.
+
+        This is the streaming entry point: ``features`` and
+        ``histograms`` come from incremental accumulators instead of a
+        trace slice, but the scoring, labelling and attribution code is
+        the same as the batch path, so a closed streaming window agrees
+        with the corresponding batch bin.
+        """
+        self._require_trained(self._model is not None)
+        assert self._model is not None
+        if self._columns != VOLUME_COLUMNS + ENTROPY_COLUMNS:
+            raise DetectorError(
+                "streaming evaluation requires the default (non-per-PoP) "
+                "feature columns"
+            )
+        row = features.as_array()
+        spe = float(self._model.spe(row[np.newaxis, :])[0])
+        if spe <= self._model.spe_threshold:
+            return None
+        return self._make_alarm(
+            index=index, start=start, end=end, spe=spe, row=row,
+            histograms=histograms,
+        )
+
+    def _make_alarm(
+        self,
+        index: int,
+        start: float,
+        end: float,
+        spe: float,
+        row: np.ndarray,
+        histograms: Mapping[tuple[FlowFeature, str], Counter],
+    ) -> Alarm:
+        assert self._model is not None
+        return Alarm(
+            alarm_id=f"{self.name}-bin{index}",
+            detector=self.name,
+            start=start,
+            end=end,
+            score=float(spe / self._model.spe_threshold),
+            label=self._label(row),
+            metadata=self.attribute_histograms(histograms),
+        )
+
     # -- meta-data attribution ---------------------------------------------
 
-    def _attribute(self, flows: list) -> list[MetadataItem]:
-        """Values whose probability mass grew most vs the reference."""
-        if not flows:
-            return []
+    def window_histograms(
+        self, flows
+    ) -> dict[tuple[FlowFeature, str], Counter]:
+        """Per-(feature, weighting) histograms attribution consumes."""
+        return {
+            (feature, weighting): feature_histogram(
+                flows, feature, weighting
+            )
+            for feature in _HEADER_FEATURES
+            for weighting in self.config.weightings
+        }
+
+    def attribute_histograms(
+        self, observed: Mapping[tuple[FlowFeature, str], Counter]
+    ) -> list[MetadataItem]:
+        """Values whose probability mass grew most vs the reference.
+
+        Works on pre-computed histograms so the batch path (histograms
+        of a trace slice) and the streaming path (histograms merged
+        chunk by chunk) share the attribution logic verbatim. Ties
+        break on the smaller value, independent of histogram order.
+        """
         metadata: list[MetadataItem] = []
         for feature in _HEADER_FEATURES:
             best: dict[int, float] = {}
             for weighting in self.config.weightings:
-                observed = feature_histogram(flows, feature, weighting)
-                observed_total = sum(observed.values())
+                histogram = observed.get((feature, weighting))
+                if not histogram:
+                    continue
+                observed_total = sum(histogram.values())
                 if observed_total == 0:
                     continue
                 reference = self._references[(feature, weighting)]
                 reference_total = sum(reference.values()) or 1
-                for value, count in observed.items():
+                for value, count in histogram.items():
                     p_observed = count / observed_total
                     p_reference = reference.get(value, 0) / reference_total
                     excess = p_observed - p_reference
                     if excess >= self.config.excess_threshold:
                         best[value] = max(best.get(value, 0.0), excess)
-            top = sorted(best.items(), key=lambda kv: -kv[1])
+            top = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
             for value, excess in top[: self.config.metadata_per_feature]:
                 metadata.append(
                     MetadataItem(feature=feature, value=value, weight=excess)

@@ -19,11 +19,9 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import EvaluationError
 from repro.eval.groundtruth import (
     flow_level_quality,
     itemset_hits_truth,
-    report_hits,
 )
 from repro.eval.harness import run_case, synthesize_alarm
 from repro.extraction.extractor import ExtractionConfig

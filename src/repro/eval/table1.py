@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EvaluationError
-from repro.eval.groundtruth import itemset_hits_truth, report_hits, TruthMatch
+from repro.eval.groundtruth import TruthMatch, report_hits
 from repro.eval.harness import CaseResult, run_case, synthesize_alarm
 from repro.extraction.extractor import ExtractionConfig
 from repro.flows.addresses import ip_to_int

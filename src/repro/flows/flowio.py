@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import CodecError, FlowError
 from repro.flows.netflow_v5 import decode_packet, encode_stream
 from repro.flows.record import FlowRecord
-from repro.flows.table import FLOW_DTYPE, FlowTable
+from repro.flows.table import FlowTable
 from repro.flows.addresses import int_to_ip, ip_to_int
 
 __all__ = [

@@ -11,7 +11,7 @@ intersects flow sets frequently).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Mapping
 
 from repro.errors import FlowError

@@ -118,6 +118,45 @@ class FlowStore:
             count += 1
         return count
 
+    def set_origin(self, origin: float) -> None:
+        """Pin slice 0's left edge before any insert has fixed it.
+
+        Lets a caller that partitions rows itself (the streaming
+        window ring) agree with the store on slice geometry up front.
+        """
+        if self._origin is not None and self._origin != origin:
+            raise StoreError(
+                f"origin already fixed at {self._origin}; "
+                f"cannot move it to {origin}"
+            )
+        self._origin = float(origin)
+
+    def insert_partitioned(
+        self, chunks: Iterable[tuple[int, FlowTable]]
+    ) -> int:
+        """Bulk-insert chunks already partitioned by slice index.
+
+        The caller asserts every row of ``chunk`` starts inside slice
+        ``index`` relative to this store's origin (which must already
+        be fixed) — no re-partitioning happens. This is the zero-copy
+        ingest path of the streaming ring, which has routed rows by
+        window anyway. Returns the number of rows inserted.
+        """
+        if self._origin is None:
+            raise StoreError(
+                "origin must be fixed before a partitioned insert"
+            )
+        inserted = 0
+        for index, chunk in chunks:
+            if not len(chunk):
+                continue
+            self._slices.setdefault(int(index), _Slice()).chunks.append(
+                chunk
+            )
+            inserted += len(chunk)
+        self._total_flows += inserted
+        return inserted
+
     def insert_table(self, table: FlowTable) -> int:
         """Bulk-insert a columnar chunk, partitioning rows by slice.
 

@@ -1,0 +1,292 @@
+"""Incremental detector state: rolling histograms and accumulators.
+
+Batch detectors recompute a window's features from all of its flows.
+Streaming cannot afford that: a window's rows arrive spread over many
+chunks, and recomputing per chunk would be quadratic. Instead a
+:class:`WindowAccumulator` folds each arriving chunk into rolling
+state — volume counters and per-feature value histograms, counted
+vectorized per chunk and merged as exact integer counters — from which
+the window's detector inputs (entropies, bucket histograms,
+attribution histograms) are derived at close time.
+
+Equivalence with the batch path is by construction, not by luck:
+
+* counts are integers, so chunk-merged histograms equal the one-pass
+  batch histograms exactly, regardless of chunk boundaries or order;
+* entropies are computed from the counts in ascending value order —
+  the same order ``np.unique`` gives the batch path — so even the
+  float sums are bit-identical;
+* scoring and attribution call the *same* detector methods
+  (:meth:`~repro.detect.netreflex.NetReflexDetector.evaluate_window`,
+  :meth:`~repro.detect.histogram.HistogramKLDetector.evaluate_window`)
+  the batch ``detect()`` uses.
+
+The property suite (``tests/test_stream.py``) asserts the equivalence
+end to end over randomized traces, chunkings and arrival orders.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+
+import numpy as np
+
+from repro.detect.base import Alarm, Detector
+from repro.detect.entropy import entropy_of_count_array
+from repro.detect.features import BinFeatures
+from repro.detect.histogram import HistogramKLDetector
+from repro.detect.netreflex import NetReflexDetector
+from repro.errors import DetectorError, FlowError
+from repro.flows.record import FlowFeature
+from repro.flows.table import FlowTable
+
+__all__ = [
+    "WindowAccumulator",
+    "StreamingDetector",
+    "StreamingNetReflex",
+    "StreamingHistogramKL",
+    "streaming_adapter",
+]
+
+_HEADER_FEATURES = (
+    FlowFeature.SRC_IP,
+    FlowFeature.DST_IP,
+    FlowFeature.SRC_PORT,
+    FlowFeature.DST_PORT,
+)
+
+
+class WindowAccumulator:
+    """Rolling state of one open window.
+
+    ``weightings`` names the histogram weightings to maintain per
+    feature (``"flows"``/``"packets"``/``"bytes"``); volume counters
+    are always kept.
+    """
+
+    __slots__ = ("flows", "packets", "bytes", "values", "_features",
+                 "_weightings")
+
+    def __init__(
+        self,
+        features: tuple[FlowFeature, ...] = _HEADER_FEATURES,
+        weightings: tuple[str, ...] = ("flows",),
+    ) -> None:
+        self.flows = 0
+        self.packets = 0
+        self.bytes = 0
+        self._features = features
+        self._weightings = weightings
+        self.values: dict[tuple[FlowFeature, str], Counter] = {
+            (feature, weighting): Counter()
+            for feature in features
+            for weighting in weightings
+        }
+
+    @staticmethod
+    def _weight_column(chunk: FlowTable, weighting: str) -> np.ndarray | None:
+        """Per-row weights; ``None`` means count rows (flow weighting)."""
+        if weighting == "flows":
+            return None
+        if weighting == "packets":
+            return chunk.packets
+        if weighting == "bytes":
+            return chunk.bytes
+        raise FlowError(f"unknown weighting {weighting!r}")
+
+    def update(self, chunk: FlowTable) -> None:
+        """Fold one chunk into the rolling state (vectorized per chunk).
+
+        Counting matches ``repro.flows.aggregate``'s table histograms
+        operation for operation (``np.unique`` + ``bincount``/exact
+        int64 ``add.at``), but the unique/inverse factorization of each
+        feature column is computed once and shared by every weighting —
+        the dominant per-chunk cost on the ingest hot path.
+        """
+        if not len(chunk):
+            return
+        self.flows += len(chunk)
+        self.packets += chunk.total_packets()
+        self.bytes += chunk.total_bytes()
+        weight_columns = {
+            weighting: self._weight_column(chunk, weighting)
+            for weighting in self._weightings
+        }
+        for feature in self._features:
+            values, inverse = np.unique(
+                chunk.feature_column(feature), return_inverse=True
+            )
+            keys = values.tolist()
+            for weighting in self._weightings:
+                weights = weight_columns[weighting]
+                if weights is None:
+                    counts = np.bincount(inverse, minlength=len(keys))
+                else:
+                    counts = np.zeros(len(keys), dtype=np.int64)
+                    np.add.at(counts, inverse, weights)
+                self.values[(feature, weighting)].update(
+                    dict(zip(keys, counts.tolist()))
+                )
+
+    def histogram(self, feature: FlowFeature, weighting: str) -> Counter:
+        """The rolling value histogram for one (feature, weighting)."""
+        return self.values[(feature, weighting)]
+
+    def entropy(self, feature: FlowFeature) -> float:
+        """Sample entropy of the flow-weighted value distribution.
+
+        Counts are laid out in ascending value order — exactly the
+        order the batch path's ``np.unique`` produces — so the float
+        accumulation matches the batch entropy bit for bit.
+        """
+        counter = self.values[(feature, "flows")]
+        if not counter:
+            return 0.0
+        counts = np.fromiter(
+            (counter[value] for value in sorted(counter)),
+            dtype=np.int64,
+            count=len(counter),
+        )
+        return entropy_of_count_array(counts)
+
+    def bin_features(self) -> BinFeatures:
+        """The window's detector feature vector (batch-identical)."""
+        return BinFeatures(
+            flows=self.flows,
+            packets=self.packets,
+            bytes=self.bytes,
+            entropy_src_ip=self.entropy(FlowFeature.SRC_IP),
+            entropy_dst_ip=self.entropy(FlowFeature.DST_IP),
+            entropy_src_port=self.entropy(FlowFeature.SRC_PORT),
+            entropy_dst_port=self.entropy(FlowFeature.DST_PORT),
+        )
+
+
+class StreamingDetector(abc.ABC):
+    """Adapter driving one batch detector from incremental window state.
+
+    The runtime calls :meth:`observe` for every routed sub-chunk and
+    :meth:`close` exactly once per window, in window order. Closing
+    discards the window's state.
+    """
+
+    def __init__(self, detector: Detector) -> None:
+        self.detector = detector
+        self._open: dict[int, WindowAccumulator] = {}
+
+    @property
+    def name(self) -> str:
+        return self.detector.name
+
+    @abc.abstractmethod
+    def _new_accumulator(self) -> WindowAccumulator:
+        """Fresh per-window state."""
+
+    @abc.abstractmethod
+    def _evaluate(
+        self, index: int, start: float, end: float,
+        state: WindowAccumulator,
+    ) -> Alarm | None:
+        """Score one closed window from its accumulated state."""
+
+    def observe(self, index: int, chunk: FlowTable) -> None:
+        """Fold a routed sub-chunk into the window's rolling state."""
+        state = self._open.get(index)
+        if state is None:
+            state = self._open[index] = self._new_accumulator()
+        state.update(chunk)
+
+    def close(self, index: int, start: float, end: float) -> list[Alarm]:
+        """Seal a window: evaluate its state and drop it."""
+        state = self._open.pop(index, None)
+        if state is None:
+            state = self._new_accumulator()
+        alarm = self._evaluate(index, start, end, state)
+        return [alarm] if alarm is not None else []
+
+    @property
+    def open_windows(self) -> int:
+        """Number of windows currently holding state."""
+        return len(self._open)
+
+
+class StreamingNetReflex(StreamingDetector):
+    """Incremental adapter over a trained :class:`NetReflexDetector`.
+
+    Accumulates the volume/entropy feature vector plus the attribution
+    histograms per window; closing evaluates the PCA subspace model on
+    the accumulated vector — the exact computation batch ``detect()``
+    performs per bin, including on empty bins.
+    """
+
+    def __init__(self, detector: NetReflexDetector) -> None:
+        super().__init__(detector)
+        weightings = tuple(detector.config.weightings)
+        if "flows" not in weightings:
+            # Entropy always needs the flow-weighted distribution.
+            weightings = ("flows", *weightings)
+        self._weightings = weightings
+
+    def _new_accumulator(self) -> WindowAccumulator:
+        return WindowAccumulator(
+            features=_HEADER_FEATURES, weightings=self._weightings
+        )
+
+    def _evaluate(
+        self, index: int, start: float, end: float,
+        state: WindowAccumulator,
+    ) -> Alarm | None:
+        detector: NetReflexDetector = self.detector
+        histograms = {
+            (feature, weighting): state.histogram(feature, weighting)
+            for feature in _HEADER_FEATURES
+            for weighting in detector.config.weightings
+        }
+        return detector.evaluate_window(
+            index, start, end, state.bin_features(), histograms
+        )
+
+
+class StreamingHistogramKL(StreamingDetector):
+    """Incremental adapter over a trained :class:`HistogramKLDetector`.
+
+    Accumulates per-feature raw value histograms under the detector's
+    configured weighting; closing folds them into the hashed bucket
+    histograms and runs the batch KL scoring. Empty windows stay
+    silent, matching batch ``detect()``.
+    """
+
+    def __init__(self, detector: HistogramKLDetector) -> None:
+        super().__init__(detector)
+
+    def _new_accumulator(self) -> WindowAccumulator:
+        detector: HistogramKLDetector = self.detector
+        return WindowAccumulator(
+            features=tuple(detector.config.features),
+            weightings=(detector.config.weight,),
+        )
+
+    def _evaluate(
+        self, index: int, start: float, end: float,
+        state: WindowAccumulator,
+    ) -> Alarm | None:
+        if state.flows == 0:
+            return None
+        detector: HistogramKLDetector = self.detector
+        values = {
+            feature: state.histogram(feature, detector.config.weight)
+            for feature in detector.config.features
+        }
+        return detector.evaluate_window(index, start, end, values)
+
+
+def streaming_adapter(detector: Detector) -> StreamingDetector:
+    """Wrap a trained batch detector in its streaming adapter."""
+    if isinstance(detector, NetReflexDetector):
+        return StreamingNetReflex(detector)
+    if isinstance(detector, HistogramKLDetector):
+        return StreamingHistogramKL(detector)
+    raise DetectorError(
+        f"no streaming adapter for {type(detector).__name__}"
+    )

@@ -81,8 +81,34 @@ class AlarmDatabase:
 
     # -- writes ------------------------------------------------------------
 
-    def insert(self, alarm: Alarm) -> None:
-        """Insert one alarm with its meta-data hints."""
+    def insert(
+        self, alarm: Alarm, dedup_window: float | None = None
+    ) -> str:
+        """Insert one alarm with its meta-data hints.
+
+        With ``dedup_window`` (seconds), a re-fire of the same anomaly —
+        an alarm from the same detector with the same label and router
+        whose interval lies within ``dedup_window`` of a stored one — is
+        *merged* into the stored alarm instead of inserted: the stored
+        interval is widened to cover both, the score keeps the maximum,
+        and the meta-data hints are united. This is the suppression a
+        streaming deployment needs so a persistent anomaly re-firing
+        window after window does not flood the database. Dismissed
+        alarms never absorb re-fires: a fresh alarm is stored (and will
+        be triaged) instead, so new evidence on a closed false-positive
+        case cannot be silently swallowed.
+
+        Returns the id the alarm is stored under (the existing alarm's
+        id when merged).
+        """
+        if dedup_window is not None:
+            if dedup_window < 0:
+                raise AlarmDatabaseError(
+                    f"dedup_window must be >= 0: {dedup_window!r}"
+                )
+            merged = self._merge_duplicate(alarm, dedup_window)
+            if merged is not None:
+                return merged
         try:
             with self._conn:
                 self._conn.execute(
@@ -110,12 +136,71 @@ class AlarmDatabase:
             raise AlarmDatabaseError(
                 f"alarm {alarm.alarm_id!r} already stored"
             ) from exc
+        return alarm.alarm_id
 
-    def insert_many(self, alarms: list[Alarm]) -> int:
-        """Insert several alarms; returns how many were stored."""
+    def _merge_duplicate(
+        self, alarm: Alarm, dedup_window: float
+    ) -> str | None:
+        """Merge ``alarm`` into a stored duplicate; ``None`` if none."""
+        row = self._conn.execute(
+            "SELECT alarm_id, start, end, score FROM alarms "
+            "WHERE detector = ? AND label = ? "
+            "AND IFNULL(router, -1) = IFNULL(?, -1) "
+            "AND status != 'dismissed' "
+            "AND start <= ? AND end >= ? "
+            "ORDER BY start DESC, alarm_id LIMIT 1",
+            (
+                alarm.detector,
+                alarm.label,
+                alarm.router,
+                alarm.end + dedup_window,
+                alarm.start - dedup_window,
+            ),
+        ).fetchone()
+        if row is None:
+            return None
+        existing_id, start, end, score = row
+        with self._conn:
+            self._conn.execute(
+                "UPDATE alarms SET start = ?, end = ?, score = ? "
+                "WHERE alarm_id = ?",
+                (
+                    min(start, alarm.start),
+                    max(end, alarm.end),
+                    max(score, alarm.score),
+                    existing_id,
+                ),
+            )
+            for item in alarm.metadata:
+                updated = self._conn.execute(
+                    "UPDATE alarm_metadata SET weight = MAX(weight, ?) "
+                    "WHERE alarm_id = ? AND feature = ? AND value = ?",
+                    (item.weight, existing_id, item.feature.value,
+                     item.value),
+                ).rowcount
+                if updated == 0:
+                    self._conn.execute(
+                        "INSERT INTO alarm_metadata (alarm_id, feature, "
+                        "value, weight) VALUES (?, ?, ?, ?)",
+                        (existing_id, item.feature.value, item.value,
+                         item.weight),
+                    )
+        return existing_id
+
+    def insert_many(
+        self, alarms: list[Alarm], dedup_window: float | None = None
+    ) -> int:
+        """Insert several alarms; returns how many were stored as *new*.
+
+        Alarms merged into existing entries (see :meth:`insert` with
+        ``dedup_window``) do not count.
+        """
+        stored = 0
         for alarm in alarms:
-            self.insert(alarm)
-        return len(alarms)
+            if self.insert(alarm, dedup_window=dedup_window) \
+                    == alarm.alarm_id:
+                stored += 1
+        return stored
 
     def set_status(
         self, alarm_id: str, status: str, verdict: str = ""

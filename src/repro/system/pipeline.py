@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.detect.base import Alarm, Detector
-from repro.errors import ExtractionError
+from repro.errors import ExtractionError, ReproError
 from repro.extraction.extractor import AnomalyExtractor, ExtractionReport
 from repro.extraction.validate import ValidationVerdict, validate_report
 from repro.flows.store import FlowStore
@@ -129,9 +129,22 @@ class ExtractionSystem:
             pass
         return TriageResult(alarm=alarm, report=report, verdict=verdict)
 
-    def process_open_alarms(self) -> list[TriageResult]:
-        """Triage every open alarm in the DB, oldest first."""
+    def process_open_alarms(
+        self, skip_errors: bool = False
+    ) -> list[TriageResult]:
+        """Triage every open alarm in the DB, oldest first.
+
+        With ``skip_errors`` an alarm whose extraction fails (e.g. its
+        flows are not archived yet, or already expired) is left open and
+        skipped instead of aborting the loop — the behaviour a streaming
+        deployment wants, where triage runs continuously against a
+        rotating archive and simply retries on the next pass.
+        """
         results = []
         for alarm in self.alarmdb.list_alarms(status=AlarmStatus.OPEN):
-            results.append(self.validate(alarm))
+            try:
+                results.append(self.validate(alarm))
+            except ReproError:
+                if not skip_errors:
+                    raise
         return results

@@ -81,6 +81,34 @@ class TestExtract:
         assert "203.191.64.165" not in capsys.readouterr().out
 
 
+class TestStream:
+    @pytest.fixture()
+    def long_trace(self, tmp_path):
+        path = tmp_path / "long.rpv5"
+        code = main([
+            "synth", "--out", str(path), "--bins", "12", "--fps", "8",
+            "--seed", "7", "--anomaly", "port-scan",
+        ])
+        assert code == 0
+        return path
+
+    def test_stream_detects_and_triages(self, long_trace, capsys):
+        code = main([
+            "stream", str(long_trace), "--train-bins", "8",
+            "--triage", "--dedup-window", "600",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window 2 [3000, 3300)" in out
+        assert "ALARM" in out
+        assert "triage" in out
+        assert "flows/s" in out
+
+    def test_stream_too_short_trace(self, trace_path, capsys):
+        code = main(["stream", str(trace_path), "--train-bins", "10"])
+        assert code == 2
+
+
 class TestDetect:
     def test_too_short_trace(self, trace_path, capsys):
         code = main(["detect", str(trace_path), "--train-bins", "10"])

@@ -8,7 +8,6 @@ flip on UDP floods, and the self-tuning band.
 
 import pytest
 
-from conftest import make_flow
 from repro.errors import EvaluationError
 from repro.eval.ablations import (
     run_candidate_ablation,
@@ -22,7 +21,7 @@ from repro.eval.groundtruth import (
     itemset_hits_signature,
     itemset_hits_truth,
 )
-from repro.eval.harness import run_case, synthesize_alarm
+from repro.eval.harness import synthesize_alarm
 from repro.eval.metrics import PrecisionRecall, precision_recall
 from repro.eval.table1 import PAPER_TABLE1_FLOWS, run_table1
 from repro.flows.record import FlowFeature

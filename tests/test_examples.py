@@ -51,6 +51,17 @@ def test_trace_forensics(capsys):
 
 
 @pytest.mark.slow
+def test_streaming_monitor(capsys):
+    out = _run_example("streaming_monitor.py", capsys)
+    assert "ALARM" in out
+    assert "port scan" in out
+    assert "alarm queue" in out
+    assert "flows/s" in out
+    # The engine closed the live windows and triaged at least one alarm.
+    assert "triage" in out
+
+
+@pytest.mark.slow
 def test_geant_noc_workflow(capsys):
     out = _run_example("geant_noc_workflow.py", capsys)
     assert "alarm queue" in out

@@ -1,8 +1,6 @@
 """Tests for trace, store, sampling, aggregate, codec and IO modules."""
 
 import io
-import math
-import random
 
 import pytest
 
@@ -23,7 +21,7 @@ from repro.flows.netflow_v5 import (
     encode_packet,
     encode_stream,
 )
-from repro.flows.record import FlowFeature, Protocol
+from repro.flows.record import FlowFeature
 from repro.flows.sampling import (
     DeterministicSampler,
     RandomSampler,

@@ -13,9 +13,9 @@ from repro.flows.flowio import (
     write_binary,
     write_csv,
 )
-from repro.flows.record import FlowFeature, Protocol
+from repro.flows.record import FlowFeature
 from repro.flows.store import FlowStore
-from repro.flows.table import FLOW_DTYPE, FlowTable
+from repro.flows.table import FlowTable
 from repro.flows.trace import FlowTrace
 
 import io

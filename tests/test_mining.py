@@ -4,7 +4,7 @@ import pytest
 
 from conftest import make_flow
 from repro.errors import MiningError
-from repro.flows.record import FLOW_FEATURES, FlowFeature, Protocol
+from repro.flows.record import FlowFeature, Protocol
 from repro.mining.apriori import mine_apriori
 from repro.mining.eclat import mine_eclat
 from repro.mining.extended import (

@@ -1,0 +1,562 @@
+"""Tests for the streaming subsystem (repro.stream).
+
+Three layers of guarantees:
+
+* **Window semantics** — rotation boundaries, out-of-order admission
+  vs. late drop, watermark monotonicity, in-order closing (including
+  empty windows), retention expiry.
+* **Incremental state** — chunk-merged accumulators equal the batch
+  per-bin features *exactly* (integer counters, value-ordered entropy
+  sums).
+* **Batch equivalence** — streaming a trace (max-rate replay, and
+  shuffled arrival under an unbounded lateness horizon) yields the
+  same alarms as batch ``detect()`` over the same trace: ids, windows,
+  labels, meta-data, scores. Hypothesis drives this over randomized
+  traces and chunkings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.features import compute_bin_features
+from repro.detect.histogram import HistogramKLDetector
+from repro.detect.netreflex import NetReflexDetector
+from repro.errors import StoreError
+from repro.flows.addresses import ip_to_int
+from repro.flows.flowio import write_csv
+from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
+from repro.flows.trace import FlowTrace
+from repro.stream import (
+    ReplayDriver,
+    StreamEngine,
+    WindowAccumulator,
+    WindowRing,
+    streaming_adapter,
+    table_chunks,
+    tail_csv_chunks,
+)
+from repro.stream.sources import _csv_header_line
+from repro.synth.anomalies import PortScan
+from repro.synth.background import BackgroundConfig
+from repro.synth.scenario import Scenario
+from repro.synth.topology import Topology
+
+
+def _table(starts, dport=80):
+    """Minimal table with the given start times (sorted not required)."""
+    starts = np.asarray(starts, dtype=float)
+    n = len(starts)
+    return FlowTable.from_columns(
+        src_ip=np.full(n, 0x0A000001),
+        dst_ip=np.full(n, 0x0A010203),
+        src_port=np.full(n, 1234),
+        dst_port=np.full(n, dport),
+        proto=np.full(n, 6),
+        packets=np.full(n, 10),
+        bytes=np.full(n, 500),
+        start=starts,
+        end=starts + 1.0,
+    )
+
+
+def _random_table(count, seed=3, span=900.0):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0.0, span, count)
+    return FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0A0000FF, count),
+        dst_ip=rng.integers(0x0A000000, 0x0A0000FF, count),
+        src_port=rng.integers(1024, 2048, count),
+        dst_port=rng.choice(np.array([53, 80, 443]), count),
+        proto=rng.choice(np.array([6, 17]), count),
+        packets=rng.integers(1, 500, count),
+        bytes=rng.integers(40, 100_000, count),
+        start=starts,
+        end=starts + rng.uniform(0.0, 60.0, count),
+    )
+
+
+class TestWindowRing:
+    def test_origin_floor_and_rotation_boundary(self):
+        ring = WindowRing(window_seconds=60.0)
+        result = ring.ingest(_table([130.0, 179.999, 180.0, 239.0]))
+        # Origin floors to the window grid; 180.0 starts the *next*
+        # window (half-open slices).
+        assert ring.origin == 120.0
+        assert [index for index, _ in result.routed] == [0, 1]
+        assert len(result.routed[0][1]) == 2
+        assert len(result.routed[1][1]) == 2
+
+    def test_explicit_origin_pre_dates_first_row(self):
+        ring = WindowRing(window_seconds=60.0, origin=0.0)
+        result = ring.ingest(_table([130.0]))
+        assert [index for index, _ in result.routed] == [2]
+
+    def test_out_of_order_admitted_while_window_open(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=120.0)
+        ring.ingest(_table([10.0, 350.0]))
+        # Watermark 350-120=230 has not passed window 0's edge (300):
+        # an old row for window 0 is still admissible.
+        assert ring.close_due() == []
+        result = ring.ingest(_table([5.0]))
+        assert result.admitted == 1
+        assert result.late_dropped == 0
+
+    def test_late_rows_dropped_after_close(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=0.0)
+        ring.ingest(_table([10.0, 400.0]))
+        closed = ring.close_due()
+        assert [w.index for w in closed] == [0]
+        result = ring.ingest(_table([50.0]))
+        assert result.admitted == 0
+        assert result.late_dropped == 1
+        assert ring.late_dropped == 1
+        # The dropped row never reaches the archive.
+        assert ring.store.count(0.0, 300.0).flows == 1
+
+    def test_closed_windows_are_final(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=0.0)
+        ring.ingest(_table([10.0, 400.0]))
+        assert [w.index for w in ring.close_due()] == [0]
+        ring.ingest(_table([50.0]))  # dropped
+        assert ring.close_due() == []
+        assert ring.closed_through == 1
+
+    def test_watermark_monotonic(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=0.0)
+        ring.ingest(_table([900.0]))
+        assert ring.watermark == 900.0
+        ring.ingest(_table([100.0, 400.0]))
+        assert ring.watermark == 900.0
+
+    def test_lateness_shifts_watermark(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=150.0)
+        ring.ingest(_table([900.0]))
+        assert ring.watermark == 750.0
+
+    def test_windows_close_in_order_including_empty(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=0.0,
+                          origin=0.0)
+        ring.ingest(_table([10.0, 950.0, 1300.0]))
+        closed = ring.close_due()
+        assert [w.index for w in closed] == [0, 1, 2, 3]
+        assert [w.flows for w in closed] == [1, 0, 0, 1]
+        assert closed[0].start == 0.0
+        assert closed[3].end == 1200.0
+
+    def test_unbounded_lateness_closes_only_on_flush(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=None)
+        ring.ingest(_table([10.0, 950.0]))
+        assert ring.watermark == -math.inf
+        assert ring.close_due() == []
+        assert [w.index for w in ring.flush()] == [0, 1, 2, 3]
+
+    def test_flush_is_idempotent(self):
+        ring = WindowRing(window_seconds=300.0)
+        ring.ingest(_table([10.0]))
+        assert len(ring.flush()) == 1
+        assert ring.flush() == []
+
+    def test_retention_expires_old_slices(self):
+        ring = WindowRing(window_seconds=300.0, lateness_seconds=0.0,
+                          retain_windows=2)
+        ring.ingest(_table([10.0, 350.0, 650.0, 950.0, 1300.0]))
+        ring.close_due()  # seals windows 0..3
+        assert ring.closed_through == 4
+        # Only the 2 most recent windows stay queryable.
+        assert ring.store.count(0.0, 600.0).flows == 0
+        assert ring.store.count(600.0, 1400.0).flows == 3
+
+    def test_rows_before_explicit_origin_dropped(self):
+        ring = WindowRing(window_seconds=300.0, origin=300.0)
+        result = ring.ingest(_table([10.0, 400.0]))
+        assert result.admitted == 1
+        assert result.late_dropped == 1
+
+    def test_bad_parameters(self):
+        with pytest.raises(StoreError):
+            WindowRing(window_seconds=0.0)
+        with pytest.raises(StoreError):
+            WindowRing(lateness_seconds=-1.0)
+        with pytest.raises(StoreError):
+            WindowRing(retain_windows=0)
+
+
+class TestWindowAccumulator:
+    def test_matches_batch_bin_features_exactly(self):
+        table = _random_table(500)
+        accumulator = WindowAccumulator()
+        for chunk in table_chunks(table, chunk_rows=37):
+            accumulator.update(chunk)
+        batch = compute_bin_features(table)
+        streamed = accumulator.bin_features()
+        # Bit-exact, not approximate: integer counters and
+        # value-ordered entropy sums reproduce the batch floats.
+        assert streamed == batch
+
+    def test_histogram_merge_is_exact(self):
+        table = _random_table(300, seed=9)
+        accumulator = WindowAccumulator(weightings=("flows", "packets"))
+        for chunk in table_chunks(table, chunk_rows=11):
+            accumulator.update(chunk)
+        from repro.flows.aggregate import feature_histogram
+
+        for feature in (FlowFeature.SRC_IP, FlowFeature.DST_PORT):
+            for weighting in ("flows", "packets"):
+                assert accumulator.histogram(feature, weighting) == \
+                    feature_histogram(table, feature, weighting)
+
+    def test_empty_window_is_all_zero(self):
+        features = WindowAccumulator().bin_features()
+        assert features == compute_bin_features(FlowTable.empty())
+
+
+# -- trained detectors shared by the equivalence tests -------------------
+
+def _scenario_trace(bin_count=12, fps=12.0, seed=7):
+    topology = Topology()
+    scenario = Scenario(
+        topology=topology,
+        background=BackgroundConfig(flows_per_second=fps),
+        bin_count=bin_count,
+    )
+    target = topology.host_address(topology.pops[9], 3)
+    scenario.add(
+        PortScan("scan", ip_to_int("203.0.113.99"), target,
+                 flow_count=6000, src_port=55548),
+        start_bin=bin_count - 2,
+    )
+    return scenario.build(seed=seed).trace
+
+
+@pytest.fixture(scope="module")
+def scenario_split():
+    trace = _scenario_trace()
+    split = trace.origin + 8 * trace.bin_seconds
+    training = trace.where(lambda f: f.start < split)
+    tail = trace.between_table(split, trace.span[1] + 1.0)
+    return training, tail, split, trace.bin_seconds
+
+
+@pytest.fixture(scope="module")
+def trained_netreflex(scenario_split):
+    training = scenario_split[0]
+    detector = NetReflexDetector()
+    detector.train(training)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def trained_histogram(scenario_split):
+    training = scenario_split[0]
+    detector = HistogramKLDetector()
+    detector.train(training)
+    return detector
+
+
+def _assert_same_alarms(batch, streamed):
+    assert [a.alarm_id for a in streamed] == [a.alarm_id for a in batch]
+    for expected, actual in zip(batch, streamed):
+        assert actual.detector == expected.detector
+        assert actual.start == expected.start
+        assert actual.end == expected.end
+        assert actual.label == expected.label
+        assert actual.score == pytest.approx(expected.score, rel=1e-9)
+        assert [(m.feature, m.value) for m in actual.metadata] == \
+            [(m.feature, m.value) for m in expected.metadata]
+        for meta_actual, meta_expected in zip(
+            actual.metadata, expected.metadata
+        ):
+            assert meta_actual.weight == pytest.approx(
+                meta_expected.weight, rel=1e-9
+            )
+
+
+def _stream_alarms(detector, table, origin, window_seconds,
+                   chunk_rows=1000, lateness=0.0, shuffle_seed=None):
+    engine = StreamEngine(
+        [streaming_adapter(detector)],
+        window_seconds=window_seconds,
+        origin=origin,
+        lateness_seconds=lateness,
+    )
+    if shuffle_seed is not None:
+        rng = np.random.default_rng(shuffle_seed)
+        table = table.select(rng.permutation(len(table)))
+        results = engine.run(table_chunks(table, chunk_rows))
+    else:
+        driver = ReplayDriver(table, chunk_rows=chunk_rows)
+        results, _ = driver.replay(engine)
+    return [alarm for result in results for alarm in result.alarms]
+
+
+class TestStreamingEquivalence:
+    def test_netreflex_max_rate_replay(
+        self, scenario_split, trained_netreflex
+    ):
+        _, tail, split, bin_seconds = scenario_split
+        batch = trained_netreflex.detect(
+            FlowTrace(tail, bin_seconds=bin_seconds, origin=split)
+        )
+        streamed = _stream_alarms(
+            trained_netreflex, tail, split, bin_seconds
+        )
+        assert batch, "scenario must produce at least one alarm"
+        _assert_same_alarms(batch, streamed)
+
+    def test_netreflex_shuffled_arrival(
+        self, scenario_split, trained_netreflex
+    ):
+        _, tail, split, bin_seconds = scenario_split
+        batch = trained_netreflex.detect(
+            FlowTrace(tail, bin_seconds=bin_seconds, origin=split)
+        )
+        streamed = _stream_alarms(
+            trained_netreflex, tail, split, bin_seconds,
+            chunk_rows=700, lateness=None, shuffle_seed=42,
+        )
+        _assert_same_alarms(batch, streamed)
+
+    def test_histogram_kl_max_rate_replay(
+        self, scenario_split, trained_histogram
+    ):
+        _, tail, split, bin_seconds = scenario_split
+        batch = trained_histogram.detect(
+            FlowTrace(tail, bin_seconds=bin_seconds, origin=split)
+        )
+        streamed = _stream_alarms(
+            trained_histogram, tail, split, bin_seconds
+        )
+        assert batch, "scenario must produce at least one alarm"
+        _assert_same_alarms(batch, streamed)
+
+    def test_histogram_kl_shuffled_arrival(
+        self, scenario_split, trained_histogram
+    ):
+        _, tail, split, bin_seconds = scenario_split
+        batch = trained_histogram.detect(
+            FlowTrace(tail, bin_seconds=bin_seconds, origin=split)
+        )
+        streamed = _stream_alarms(
+            trained_histogram, tail, split, bin_seconds,
+            chunk_rows=450, lateness=None, shuffle_seed=5,
+        )
+        _assert_same_alarms(batch, streamed)
+
+
+# Value pools mirror test_table_equivalence: small enough to collide,
+# rich enough to move entropies and histograms around.
+_IPS = st.sampled_from(
+    [0x0A000001, 0x0A000002, 0x0A010203, 0xC0A80001, 0xC6336445]
+)
+_PORTS = st.sampled_from([0, 53, 80, 443, 1234, 55548, 65535])
+_PROTOS = st.sampled_from([1, 6, 17])
+
+
+@st.composite
+def flow_records(draw):
+    start = draw(st.floats(min_value=0.0, max_value=1500.0,
+                           allow_nan=False, allow_infinity=False))
+    return FlowRecord(
+        src_ip=draw(_IPS),
+        dst_ip=draw(_IPS),
+        src_port=draw(_PORTS),
+        dst_port=draw(_PORTS),
+        proto=draw(_PROTOS),
+        packets=draw(st.integers(min_value=1, max_value=50_000)),
+        bytes=draw(st.integers(min_value=40, max_value=1_000_000)),
+        start=start,
+        end=start + draw(st.floats(min_value=0.0, max_value=120.0,
+                                   allow_nan=False, allow_infinity=False)),
+    )
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flows=st.lists(flow_records(), min_size=1, max_size=60),
+        chunk_rows=st.integers(min_value=1, max_value=50),
+    )
+    def test_max_rate_replay_matches_batch(
+        self, trained_netreflex, flows, chunk_rows
+    ):
+        """Streaming any trace at max rate == batch detection on it."""
+        trace = FlowTrace(flows, bin_seconds=300.0, origin=0.0)
+        batch = trained_netreflex.detect(trace)
+        streamed = _stream_alarms(
+            trained_netreflex, trace.table, 0.0, 300.0,
+            chunk_rows=chunk_rows,
+        )
+        _assert_same_alarms(batch, streamed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        flows=st.lists(flow_records(), min_size=1, max_size=60),
+        chunk_rows=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_unordered_arrival_matches_batch(
+        self, trained_netreflex, flows, chunk_rows, seed
+    ):
+        """Arrival order is irrelevant under an unbounded horizon."""
+        trace = FlowTrace(flows, bin_seconds=300.0, origin=0.0)
+        batch = trained_netreflex.detect(trace)
+        streamed = _stream_alarms(
+            trained_netreflex, trace.table, 0.0, 300.0,
+            chunk_rows=chunk_rows, lateness=None, shuffle_seed=seed,
+        )
+        _assert_same_alarms(batch, streamed)
+
+
+class TestStreamEngine:
+    def test_dedup_merges_refires(self, scenario_split, trained_netreflex):
+        _, tail, split, bin_seconds = scenario_split
+        engine = StreamEngine(
+            [streaming_adapter(trained_netreflex)],
+            window_seconds=bin_seconds,
+            origin=split,
+            dedup_window=5 * bin_seconds,
+        )
+        ReplayDriver(tail, chunk_rows=2048).replay(engine)
+        # Whatever fired, re-fires within the suppression window must
+        # have been merged, not duplicated.
+        assert engine.alarmdb.count() == \
+            engine.stats.alarms
+        assert engine.stats.alarms >= 1
+
+    def test_late_flows_counted_not_detected(self, trained_netreflex):
+        engine = StreamEngine(
+            [streaming_adapter(trained_netreflex)],
+            window_seconds=300.0,
+            origin=0.0,
+            lateness_seconds=0.0,
+        )
+        engine.process(_table([10.0, 700.0]))
+        engine.process(_table([20.0]))  # window 0 already closed
+        engine.finish()
+        assert engine.stats.late_dropped == 1
+        assert engine.stats.flows == 2
+
+    def test_triage_streams_against_live_ring(
+        self, scenario_split, trained_netreflex
+    ):
+        _, tail, split, bin_seconds = scenario_split
+        engine = StreamEngine(
+            [streaming_adapter(trained_netreflex)],
+            window_seconds=bin_seconds,
+            origin=split,
+            triage=True,
+        )
+        results, _ = ReplayDriver(tail, chunk_rows=2048).replay(engine)
+        triaged = [t for r in results for t in r.triage]
+        assert engine.stats.alarms >= 1
+        assert len(triaged) == engine.stats.alarms
+        # The port scan is substantiated live.
+        assert any(t.verdict.useful for t in triaged)
+        # Triage state landed in the DB.
+        assert engine.alarmdb.count("open") == 0
+
+
+class TestReplayDriver:
+    def test_pacing_with_fake_clock(self):
+        now = [0.0]
+        sleeps = []
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            now[0] += seconds
+
+        table = _table([0.0, 100.0, 200.0, 300.0])
+        driver = ReplayDriver(table, speedup=10.0, chunk_rows=1,
+                              clock=clock, sleep=sleep)
+        assert len(list(driver.chunks())) == 4
+        # 300 event seconds at 10x -> 30 wall seconds of pacing.
+        assert sum(sleeps) == pytest.approx(30.0)
+        stats = driver.last_stats
+        assert stats.flows == 4
+        assert stats.achieved_speedup == pytest.approx(10.0)
+
+    def test_max_rate_never_sleeps(self):
+        sleeps = []
+        driver = ReplayDriver(
+            _table([0.0, 500.0]), speedup=None, chunk_rows=1,
+            sleep=lambda s: sleeps.append(s),
+        )
+        list(driver.chunks())
+        assert sleeps == []
+        assert driver.last_stats.target_speedup is None
+
+    def test_replay_is_time_ordered(self):
+        table = _table([300.0, 0.0, 600.0])
+        driver = ReplayDriver(table, chunk_rows=2)
+        starts = [float(c.start[0]) for c in driver.chunks()]
+        assert starts == sorted(starts)
+
+    def test_bad_speedup(self):
+        with pytest.raises(StoreError):
+            ReplayDriver(_table([0.0]), speedup=0.0)
+
+
+class TestSources:
+    def test_table_chunk_sizes(self):
+        chunks = list(table_chunks(_random_table(100), chunk_rows=30))
+        assert [len(c) for c in chunks] == [30, 30, 30, 10]
+
+    def test_tail_csv_follows_appends(self, tmp_path):
+        path = tmp_path / "live.csv"
+        table = _random_table(30, seed=11)
+        first, second = table.records(0, 20), table.records(20, 30)
+        write_csv(first, path)
+
+        appended = []
+
+        def append_rest(_seconds):
+            # Simulate another process appending between polls: drop
+            # the header write_csv repeats, keep the data rows.
+            if appended:
+                return
+            appended.append(True)
+            import io as _io
+
+            buffer = _io.StringIO()
+            write_csv(second, buffer)
+            body = buffer.getvalue().split("\n", 1)[1]
+            with open(path, "a", newline="") as handle:
+                handle.write(body)
+
+        chunks = list(tail_csv_chunks(
+            path, chunk_rows=8, poll_seconds=0.01, idle_polls=2,
+            sleep=append_rest,
+        ))
+        assert sum(len(c) for c in chunks) == 30
+
+    def test_tail_csv_ignores_partial_lines(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        torn = ["done"]
+
+        with open(path, "w", newline="") as handle:
+            handle.write(_csv_header_line())
+            handle.write(
+                "10.0.0.1,10.0.0.2,1,2,6,1,64,0.0,1.0,0,0,1\n"
+            )
+            handle.write("10.0.0.1,10.0.0.2,1,2,6,1,64,")  # torn row
+
+        def complete_line(_seconds):
+            if torn:
+                torn.pop()
+                with open(path, "a", newline="") as handle:
+                    handle.write("5.0,6.0,0,0,1\n")
+
+        chunks = list(tail_csv_chunks(
+            path, poll_seconds=0.01, idle_polls=2, sleep=complete_line,
+        ))
+        starts = [float(s) for c in chunks for s in c.start]
+        assert starts == [0.0, 5.0]

@@ -105,6 +105,87 @@ class TestAlarmDatabase:
             assert db.get("a1").alarm_id == "a1"
 
 
+class TestAlarmDedup:
+    def test_refire_merges_into_stored_alarm(self):
+        with AlarmDatabase() as db:
+            assert db.insert(_alarm("a1", 300.0, 600.0)) == "a1"
+            refire = _alarm(
+                "a2", 600.0, 900.0,
+                metadata=[
+                    MetadataItem(FlowFeature.DST_PORT, 80, weight=9.0),
+                    MetadataItem(FlowFeature.SRC_IP, 42, weight=2.0),
+                ],
+            )
+            assert db.insert(refire, dedup_window=600.0) == "a1"
+            assert db.count() == 1
+            merged = db.get("a1")
+            # Interval widened, score keeps the max, hints united.
+            assert (merged.start, merged.end) == (300.0, 900.0)
+            assert merged.score == 3.5
+            pairs = {(m.feature, m.value): m.weight
+                     for m in merged.metadata}
+            assert pairs[(FlowFeature.DST_PORT, 80)] == 9.0
+            assert pairs[(FlowFeature.SRC_IP, 42)] == 2.0
+
+    def test_dismissed_alarms_never_absorb_refires(self):
+        # New evidence on a closed false-positive case must resurface
+        # as a fresh (triageable) alarm, not vanish into the dismissal.
+        with AlarmDatabase() as db:
+            db.insert(_alarm("a1", 300.0, 600.0))
+            db.set_status("a1", AlarmStatus.DISMISSED, "false positive")
+            assert db.insert(
+                _alarm("a2", 600.0, 900.0), dedup_window=600.0
+            ) == "a2"
+            assert db.count() == 2
+            assert db.status_of("a2")[0] == AlarmStatus.OPEN
+
+    def test_validated_alarms_still_absorb_refires(self):
+        # A confirmed ongoing anomaly re-firing window after window is
+        # exactly what suppression is for.
+        with AlarmDatabase() as db:
+            db.insert(_alarm("a1", 300.0, 600.0))
+            db.set_status("a1", AlarmStatus.VALIDATED, "confirmed")
+            assert db.insert(
+                _alarm("a2", 600.0, 900.0), dedup_window=600.0
+            ) == "a1"
+            assert db.count() == 1
+            assert db.get("a1").end == 900.0
+
+    def test_refire_outside_window_is_new(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm("a1", 300.0, 600.0))
+            db.insert(_alarm("a2", 1500.0, 1800.0), dedup_window=300.0)
+            assert db.count() == 2
+
+    def test_different_key_never_merges(self):
+        with AlarmDatabase() as db:
+            db.insert(_alarm("a1"))
+            other_label = _alarm("a2")
+            other_label.label = "udp flood"
+            assert db.insert(other_label, dedup_window=1e9) == "a2"
+            other_router = _alarm("a3")
+            other_router.router = 7
+            assert db.insert(other_router, dedup_window=1e9) == "a3"
+            other_detector = _alarm("a4")
+            other_detector.detector = "other"
+            assert db.insert(other_detector, dedup_window=1e9) == "a4"
+            assert db.count() == 4
+
+    def test_insert_many_counts_only_new(self):
+        with AlarmDatabase() as db:
+            stored = db.insert_many(
+                [_alarm("a1", 300.0, 600.0), _alarm("a2", 600.0, 900.0)],
+                dedup_window=600.0,
+            )
+            assert stored == 1
+            assert db.count() == 1
+
+    def test_negative_dedup_window_rejected(self):
+        with AlarmDatabase() as db:
+            with pytest.raises(AlarmDatabaseError):
+                db.insert(_alarm(), dedup_window=-1.0)
+
+
 def _backend(bin_seconds=300.0):
     flows = []
     for b in range(4):
@@ -273,6 +354,23 @@ class TestExtractionSystem:
 
         with pytest.raises(ExtractionError):
             system.extract(alarm)
+
+    def test_process_open_alarms_skip_errors(self):
+        system = self._system()
+        system.ingest([
+            _alarm("ok", 900.0, 1200.0),
+            # No flows archived for this interval: extraction fails.
+            _alarm("broken", 90_000.0, 90_300.0),
+        ])
+        results = system.process_open_alarms(skip_errors=True)
+        assert [r.alarm.alarm_id for r in results] == ["ok"]
+        # The failed alarm stays open for the next triage pass...
+        assert system.alarmdb.status_of("broken")[0] == AlarmStatus.OPEN
+        # ...while the strict mode still surfaces the failure.
+        from repro.errors import ExtractionError
+
+        with pytest.raises(ExtractionError):
+            system.process_open_alarms()
 
     def test_config_validation(self):
         with pytest.raises(ConfigurationError):
