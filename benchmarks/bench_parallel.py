@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Sharded execution benchmark: mining and stream-engine scale-out.
+
+Two measurements over the same synthetic mixed traffic as the stream
+benchmark:
+
+* **partitioned mining** — end-to-end table → ranked frequent
+  itemsets at 1, 2 and 4 workers. The 1-worker baseline is the classic
+  single-process path (``TransactionSet.from_table`` + ``mine_apriori``);
+  higher worker counts run the SON two-pass over that many hash
+  shards through a :class:`~repro.parallel.executor.ShardExecutor`.
+  Outputs are asserted byte-identical to the baseline every round.
+* **stream engine** — sustained max-rate ingest flows/s of
+  ``StreamEngine`` (1 worker) vs ``ShardedStreamEngine`` (2, 4
+  workers) over the full online path.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel.py [--flows N]
+
+Writes ``BENCH_parallel.json``; ``--check`` gates on the ≥1.7x mining
+speedup floor at 4 workers (meaningful at the default flow count).
+The recorded ``cpu_count`` qualifies the numbers: on a single-core
+box the speedup comes from the two-pass algorithm's vectorized
+counting alone; with real cores the process fan-out adds on top.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detect.netreflex import NetReflexDetector  # noqa: E402
+from repro.flows.table import FlowTable  # noqa: E402
+from repro.flows.trace import FlowTrace  # noqa: E402
+from repro.mining.apriori import mine_apriori  # noqa: E402
+from repro.mining.transactions import TransactionSet  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    PartitionSpec,
+    ShardExecutor,
+    mine_partitioned,
+    partition_table,
+)
+from repro.stream import (  # noqa: E402
+    ShardedStreamEngine,
+    StreamEngine,
+    streaming_adapter,
+    table_chunks,
+)
+
+WINDOW_SECONDS = 300.0
+TRAIN_WINDOWS = 5
+LIVE_WINDOWS = 10
+CHUNK_ROWS = 16_384
+WORKER_COUNTS = (1, 2, 4)
+ACCEPTANCE_MINING_SPEEDUP_4W = 1.7
+FLOW_SHARE = 0.05
+PACKET_SHARE = 0.05
+
+
+def synth_table(count: int, span: float, seed: int = 7) -> FlowTable:
+    """Plausible mixed traffic (same shape as bench_stream)."""
+    rng = np.random.default_rng(seed)
+    start = np.sort(rng.uniform(0.0, span, count))
+    return FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0A00FFFF, count),
+        dst_ip=rng.integers(0x0A000000, 0x0A0000FF, count),
+        src_port=rng.integers(1024, 65536, count),
+        dst_port=rng.choice(np.array([53, 80, 443, 8080, 25, 123]), count),
+        proto=rng.choice(np.array([6, 6, 6, 17, 1]), count),
+        packets=rng.integers(1, 2000, count),
+        bytes=rng.integers(40, 1_000_000, count),
+        start=start,
+        end=start + rng.uniform(0.0, 120.0, count),
+        tcp_flags=rng.integers(0, 0x40, count),
+        router=rng.integers(0, 23, count),
+        sampling_rate=np.ones(count, dtype=np.int64),
+    )
+
+
+def bench_mining(table: FlowTable, repeats: int) -> dict:
+    """Time table → ranked itemsets per worker count (best of N)."""
+    thresholds = TransactionSet.from_table(table).absolute_thresholds(
+        FLOW_SHARE, PACKET_SHARE
+    )
+    min_flows, min_packets = thresholds
+    reference = mine_apriori(
+        TransactionSet.from_table(table), min_flows, min_packets
+    )
+    results: dict[str, dict] = {}
+    for workers in WORKER_COUNTS:
+        executor = None
+        spec = None
+        if workers > 1:
+            spec = PartitionSpec(shards=workers)
+            executor = ShardExecutor(workers)
+            # Warm the pool so startup is not billed to the first round.
+            mine_partitioned(
+                partition_table(table.select(slice(0, 1024)), spec),
+                min_flows,
+                min_packets,
+                executor=executor,
+            )
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            if workers == 1:
+                mined = mine_apriori(
+                    TransactionSet.from_table(table),
+                    min_flows,
+                    min_packets,
+                )
+            else:
+                mined = mine_partitioned(
+                    partition_table(table, spec),
+                    min_flows,
+                    min_packets,
+                    executor=executor,
+                )
+            best = min(best, time.perf_counter() - t0)
+            assert mined == reference, "sharded mining diverged"
+        if executor is not None:
+            executor.close()
+        results[str(workers)] = {
+            "seconds": best,
+            "flows_per_sec": len(table) / best,
+            "itemsets": len(reference),
+        }
+    base = results["1"]["seconds"]
+    for entry in results.values():
+        entry["speedup_vs_1w"] = base / entry["seconds"]
+    results["thresholds"] = {
+        "min_flows": min_flows,
+        "min_packets": min_packets,
+    }
+    return results
+
+
+def bench_stream(live: FlowTable, detector: NetReflexDetector) -> dict:
+    """Sustained max-rate ingest per worker count."""
+    results: dict[str, dict] = {}
+    chunks = list(table_chunks(live, chunk_rows=CHUNK_ROWS))
+    for workers in WORKER_COUNTS:
+        options = dict(
+            window_seconds=WINDOW_SECONDS,
+            origin=0.0,
+            lateness_seconds=0.0,
+        )
+        if workers == 1:
+            engine = StreamEngine(
+                [streaming_adapter(detector)], **options
+            )
+        else:
+            engine = ShardedStreamEngine(
+                [streaming_adapter(detector)],
+                workers=workers,
+                **options,
+            )
+        t0 = time.perf_counter()
+        for chunk in chunks:
+            engine.process(chunk)
+        engine.finish()
+        wall = time.perf_counter() - t0
+        engine.close()
+        results[str(workers)] = {
+            "seconds": wall,
+            "flows_per_sec": len(live) / wall,
+            "windows_closed": engine.stats.windows_closed,
+            "alarms": engine.stats.alarms,
+        }
+    base = results["1"]["seconds"]
+    for entry in results.values():
+        entry["speedup_vs_1w"] = base / entry["seconds"]
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flows", type=int, default=150_000,
+                        help="flows in the mined / streamed segment")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="mining timing repeats (best-of)")
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent
+                             / "BENCH_parallel.json")
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the 4-worker mining speedup misses "
+             f"the {ACCEPTANCE_MINING_SPEEDUP_4W}x floor "
+             "(meaningful at the default 150k flows)",
+    )
+    args = parser.parse_args()
+
+    live_span = LIVE_WINDOWS * WINDOW_SECONDS
+    table = synth_table(args.flows, live_span, seed=7)
+
+    mining = bench_mining(table, repeats=args.repeats)
+
+    training = FlowTrace(
+        synth_table(
+            max(1000, args.flows // 3),
+            TRAIN_WINDOWS * WINDOW_SECONDS,
+            seed=3,
+        ),
+        bin_seconds=WINDOW_SECONDS,
+        origin=0.0,
+    )
+    detector = NetReflexDetector()
+    detector.train(training)
+    stream = bench_stream(table, detector)
+
+    mining_speedup_4w = mining["4"]["speedup_vs_1w"]
+    payload = {
+        "benchmark": "sharded_execution",
+        "flows": args.flows,
+        "worker_counts": list(WORKER_COUNTS),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "mining": mining,
+        "stream": stream,
+        "acceptance_min_mining_speedup_4w": ACCEPTANCE_MINING_SPEEDUP_4W,
+        "acceptance_pass": (
+            mining_speedup_4w >= ACCEPTANCE_MINING_SPEEDUP_4W
+        ),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"sharded execution over {args.flows} flows "
+          f"({os.cpu_count()} cpu):")
+    for workers in WORKER_COUNTS:
+        m = mining[str(workers)]
+        s = stream[str(workers)]
+        print(f"  {workers} worker(s): "
+              f"mining {m['seconds']*1e3:8.1f} ms "
+              f"({m['speedup_vs_1w']:.2f}x)   "
+              f"stream {s['flows_per_sec']:10,.0f} flows/s "
+              f"({s['speedup_vs_1w']:.2f}x)")
+    print(f"  mining speedup at 4 workers: {mining_speedup_4w:.2f}x "
+          f"(floor {ACCEPTANCE_MINING_SPEEDUP_4W}x)")
+    print(f"wrote {args.out}")
+    if args.check and mining_speedup_4w < ACCEPTANCE_MINING_SPEEDUP_4W:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

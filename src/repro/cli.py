@@ -19,6 +19,10 @@ with optional meta-data hints, and prints the Table-1 view; ``stream``
 replays the trace tail through the online engine — incremental
 detection, alarm DB inserts and (with ``--triage``) live extraction
 reports as windows close.
+
+``detect``, ``extract`` and ``stream`` all take ``--workers N`` to fan
+their heavy passes out over the sharded execution subsystem
+(:mod:`repro.parallel`); results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -49,6 +53,20 @@ _ANOMALY_CHOICES = (
     "udp-flood",
     "reflector",
 )
+
+
+def _workers_arg(text: str) -> int:
+    """argparse type for ``--workers``: a positive int, validated once
+    here so all subcommands reject bad values the same way."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1: {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("trace", help=".rpv5 trace path")
     detect.add_argument("--train-bins", type=int, default=8,
                         help="leading bins used as the training window")
+    detect.add_argument("--workers", type=_workers_arg, default=1,
+                        help="parallel workers for the detection sweep")
 
     extract = sub.add_parser("extract", help="extract flows for a window")
     extract.add_argument("trace", help=".rpv5 trace path")
@@ -98,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="meta-data hint feature=value, e.g. dstIP=10.9.0.4",
     )
     extract.add_argument("--anonymize", action="store_true")
+    extract.add_argument("--workers", type=_workers_arg, default=1,
+                         help="shards/workers for the mining step")
 
     stream = sub.add_parser(
         "stream", help="online detection over a replayed trace"
@@ -123,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--triage", action="store_true",
                         help="triage open alarms against the live ring "
                              "as windows close")
+    stream.add_argument("--workers", type=_workers_arg, default=1,
+                        help="shards/workers for window accumulation "
+                             "and triage mining")
     return parser
 
 
@@ -224,7 +249,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         return 2
     detector = NetReflexDetector()
     detector.train(training)
-    alarms = detector.detect(tail)
+    if args.workers > 1:
+        from repro.parallel import parallel_detect
+
+        alarms = parallel_detect(detector, tail, workers=args.workers)
+    else:
+        alarms = detector.detect(tail)
     if not alarms:
         print("no alarms")
         return 0
@@ -260,7 +290,11 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     baseline = trace.between_table(
         alarm.start - 3 * trace.bin_seconds, alarm.start
     )
-    report = AnomalyExtractor().extract(alarm, interval, baseline)
+    extractor = AnomalyExtractor(workers=args.workers)
+    try:
+        report = extractor.extract(alarm, interval, baseline)
+    finally:
+        extractor.close()
     print(render_table(table_rows(report, anonymize=args.anonymize)))
     print()
     print(verdict_view(validate_report(report), anonymize=args.anonymize))
@@ -268,7 +302,12 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream import ReplayDriver, StreamEngine, streaming_adapter
+    from repro.stream import (
+        ReplayDriver,
+        ShardedStreamEngine,
+        StreamEngine,
+        streaming_adapter,
+    )
 
     trace = _load_trace(args.trace)
     split = trace.origin + args.train_bins * trace.bin_seconds
@@ -309,8 +348,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             print(f"  triage {triaged.alarm.alarm_id} -> {status}: "
                   f"{verdict}")
 
-    engine = StreamEngine(
-        [streaming_adapter(detector)],
+    engine_options = dict(
         window_seconds=window_seconds,
         origin=split,
         lateness_seconds=args.lateness,
@@ -319,22 +357,59 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         triage=args.triage,
         on_window=on_window,
     )
+    if args.workers > 1:
+        engine = ShardedStreamEngine(
+            [streaming_adapter(detector)],
+            workers=args.workers,
+            **engine_options,
+        )
+    else:
+        engine = StreamEngine(
+            [streaming_adapter(detector)], **engine_options
+        )
     driver = ReplayDriver(
         tail,
         speedup=args.speedup or None,
         chunk_rows=args.chunk_rows,
     )
-    _, replay_stats = driver.replay(engine)
+    interrupted = False
+    try:
+        try:
+            _, replay_stats = driver.replay(engine)
+            wall = replay_stats.wall_seconds
+            rate = replay_stats.flows_per_second
+            speedup = replay_stats.achieved_speedup
+        except KeyboardInterrupt:
+            # A paced replay is routinely cut short from the keyboard;
+            # seal what the watermark allows and summarise cleanly. The
+            # summary must come out even if sealing itself fails (e.g.
+            # a worker pool torn down by the same interrupt).
+            interrupted = True
+            try:
+                engine.finish()
+            except Exception as exc:  # pragma: no cover - defensive
+                print(f"(flush after interrupt failed: {exc})",
+                      file=sys.stderr)
+            wall = rate = speedup = float("nan")
+    finally:
+        engine.close()
     stats = engine.stats
+    prefix = "interrupted after" if interrupted else "streamed"
+    timing = (
+        ""
+        if interrupted
+        else (
+            f" in {wall:.2f}s ({rate:,.0f} flows/s, "
+            f"{speedup:,.0f}x recorded time)"
+        )
+    )
     print(
-        f"streamed {stats.flows} flows in {replay_stats.wall_seconds:.2f}s "
-        f"({replay_stats.flows_per_second:,.0f} flows/s, "
-        f"{replay_stats.achieved_speedup:,.0f}x recorded time); "
+        f"{prefix} {stats.flows} flows{timing}; "
         f"{stats.windows_closed} windows, {stats.alarms} alarms, "
         f"{stats.alarms_merged} merged, {stats.triaged} triaged, "
         f"{stats.late_dropped} late-dropped"
     )
-    return 0
+    return 130 if interrupted else 0
 
 
 _COMMANDS = {

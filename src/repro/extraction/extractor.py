@@ -17,6 +17,7 @@ The extractor is detector-agnostic: anything that produces an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.detect.base import Alarm
 from repro.errors import ExtractionError
@@ -37,6 +38,9 @@ from repro.mining.extended import (
     MiningOutcome,
 )
 from repro.taxonomy import AnomalyKind
+
+if TYPE_CHECKING:
+    from repro.parallel.executor import ShardExecutor
 
 __all__ = [
     "ExtractionConfig",
@@ -211,11 +215,51 @@ def itemset_confirms_metadata(itemset, alarm: Alarm) -> bool:
 
 
 class AnomalyExtractor:
-    """Extracts and summarizes the flows behind an alarm."""
+    """Extracts and summarizes the flows behind an alarm.
 
-    def __init__(self, config: ExtractionConfig | None = None) -> None:
+    With ``workers > 1`` the mining step runs through the sharded
+    two-pass miner of :mod:`repro.parallel.mining` over that many
+    hash partitions — byte-identical reports (the sharded miner's
+    contract), so the worker count is purely a throughput knob.
+    """
+
+    def __init__(
+        self,
+        config: ExtractionConfig | None = None,
+        workers: int = 1,
+        executor: "ShardExecutor | None" = None,
+    ) -> None:
+        """``executor`` optionally shares an existing worker pool (the
+        sharded stream engine passes its own so triage mining does not
+        spawn a second pool)."""
         self.config = config or ExtractionConfig()
-        self._miner = ExtendedApriori(self.config.mining)
+        if workers < 1:
+            raise ExtractionError(f"workers must be >= 1: {workers!r}")
+        self.workers = workers
+        self._owned_executor: "ShardExecutor | None" = None
+        if workers > 1:
+            from repro.parallel.executor import ShardExecutor
+            from repro.parallel.mining import ShardedApriori
+            from repro.parallel.partition import PartitionSpec
+
+            if executor is None:
+                executor = self._owned_executor = ShardExecutor(workers)
+            self._miner = ShardedApriori(
+                self.config.mining,
+                partition=PartitionSpec(shards=workers),
+                executor=executor,
+            )
+        else:
+            self._miner = ExtendedApriori(self.config.mining)
+
+    def close(self) -> None:
+        """Shut down a worker pool this extractor created (idempotent).
+
+        Shared executors passed in by the caller are left running —
+        the caller owns their lifecycle.
+        """
+        if self._owned_executor is not None:
+            self._owned_executor.close()
 
     def extract(
         self,

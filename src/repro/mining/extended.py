@@ -142,6 +142,23 @@ class ExtendedApriori:
 
     # -- one-shot mining ----------------------------------------------------
 
+    def _frequent(
+        self,
+        transactions: TransactionSet,
+        min_flows: int | None,
+        min_packets: int | None,
+    ) -> list[ItemsetSupport]:
+        """All frequent itemsets at absolute thresholds.
+
+        The single overridable seam of the envelope: subclasses (the
+        sharded miner in :mod:`repro.parallel.mining`) swap the engine
+        while the tuning loop, reduction and sorting stay shared — and
+        therefore visit the same thresholds in the same order.
+        """
+        return ENGINES[self.config.engine](
+            transactions, min_flows, min_packets
+        )
+
     def mine_fixed(
         self,
         transactions: TransactionSet,
@@ -149,7 +166,6 @@ class ExtendedApriori:
         packet_share: float | None,
     ) -> MiningOutcome:
         """Mine once at fixed relative thresholds (no tuning)."""
-        engine = ENGINES[self.config.engine]
         reducer = _REDUCERS[self.config.reduce]
         min_flows, min_packets = transactions.absolute_thresholds(
             flow_share,
@@ -157,7 +173,7 @@ class ExtendedApriori:
             floor_flows=self.config.floor_flows,
             floor_packets=self.config.floor_packets,
         )
-        frequent = engine(transactions, min_flows, min_packets)
+        frequent = self._frequent(transactions, min_flows, min_packets)
         reduced = reducer(frequent)
         reduced.sort(
             key=lambda s: (
@@ -196,13 +212,25 @@ class ExtendedApriori:
         the fly — the table takes the vectorized ``from_table`` intern
         path) or a pre-built :class:`TransactionSet`.
         """
-        cfg = self.config
         if isinstance(flows, TransactionSet):
             transactions = flows
         else:
             transactions = TransactionSet.from_flows(
-                flows, features=cfg.features
+                flows, features=self.config.features
             )
+        return self._mine_transactions(transactions)
+
+    def _mine_transactions(
+        self, transactions: TransactionSet
+    ) -> MiningOutcome:
+        """The self-tuning loop over an encoded transaction set.
+
+        ``transactions`` only needs ``total_flows``/``total_packets``,
+        ``absolute_thresholds`` and truthiness here and in
+        :meth:`mine_fixed` — the sharded miner passes a duck-typed
+        shard collection through the same loop.
+        """
+        cfg = self.config
         if not transactions:
             return MiningOutcome(
                 itemsets=[],

@@ -1,0 +1,76 @@
+"""Sharded multi-core execution over the columnar flow substrate.
+
+The scale-out seam of the system: every heavy pass — frequent-itemset
+mining, per-window feature computation, detection sweeps, stream
+window accumulation — decomposes into *shard → merge* with an explicit
+contract (ARCHITECTURE.md, "Sharding contract"), so the same code runs
+serially, on a local process pool, or (later) on a distributed
+backend, with byte-identical results.
+
+``partition``
+    Stable, seedable hash partitioning of any
+    :class:`~repro.flows.table.FlowTable` by a configurable key
+    (default ``src_ip``), plus shard-aware CSV/binary readers that fan
+    chunked ingest straight into per-shard tables.
+``executor``
+    :class:`ShardExecutor` — per-shard tasks on a lazily created
+    process pool (tables travel as compact binary frames, never as
+    pickled records), with a zero-overhead serial fallback for
+    ``workers=1`` and platforms without ``fork``.
+``mining``
+    SON-style two-pass partitioned mining — vectorized local
+    candidate mining at scaled support, exact global recount — and
+    :class:`ShardedApriori`, the drop-in self-tuning envelope over
+    shards.
+``detect``
+    Parallel feature matrices and multi-window detection sweeps:
+    workers evaluate disjoint bin ranges, results merge in timestamp
+    order through the batch scoring path.
+
+The streaming counterpart, :class:`~repro.stream.sharded.ShardedStreamEngine`,
+lives in :mod:`repro.stream` and builds on the same pieces.
+"""
+
+from repro.parallel.detect import (
+    bin_spans,
+    parallel_detect,
+    parallel_feature_matrix,
+)
+from repro.parallel.executor import ShardExecutor
+from repro.parallel.mining import (
+    ShardedApriori,
+    count_signatures,
+    mine_partitioned,
+    mine_table,
+    scaled_threshold,
+)
+from repro.parallel.partition import (
+    PARTITION_KEYS,
+    PartitionSpec,
+    partition_chunks,
+    partition_table,
+    read_binary_sharded,
+    read_csv_sharded,
+    shard_ids,
+    stable_hash64,
+)
+
+__all__ = [
+    "PARTITION_KEYS",
+    "PartitionSpec",
+    "stable_hash64",
+    "shard_ids",
+    "partition_table",
+    "partition_chunks",
+    "read_csv_sharded",
+    "read_binary_sharded",
+    "ShardExecutor",
+    "scaled_threshold",
+    "mine_table",
+    "count_signatures",
+    "mine_partitioned",
+    "ShardedApriori",
+    "bin_spans",
+    "parallel_feature_matrix",
+    "parallel_detect",
+]

@@ -1,0 +1,162 @@
+"""Hash partitioning of flow tables into shards.
+
+The sharding contract (see ARCHITECTURE.md):
+
+* a row's shard is a pure function of one **partition key** column
+  (default ``src_ip``, the paper's srcaddr) and a **seed** — never of
+  row order, chunk boundaries or shard-count history — so re-ingesting
+  the same trace, in any order, lands every flow on the same shard;
+* the hash is a fixed 64-bit avalanche mix (the splitmix64 finalizer),
+  stable across processes, platforms and Python versions — unlike
+  ``hash()``, which is salted per interpreter;
+* partitioning is **order-preserving within a shard**: shard *i* holds
+  its rows in the input order, so per-shard pipelines see the same
+  relative time order the unsharded pipeline would.
+
+Keying on an endpoint feature keeps all flows of one conversation
+partner together, which is what gives per-shard mining its locality;
+the seed exists so operators (and the equivalence tests) can reshuffle
+placement without touching the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.flows.flowio import (
+    DEFAULT_CHUNK_ROWS,
+    iter_binary_tables,
+    iter_csv_tables,
+)
+from repro.flows.table import FlowTable
+
+__all__ = [
+    "PARTITION_KEYS",
+    "PartitionSpec",
+    "stable_hash64",
+    "shard_ids",
+    "partition_table",
+    "partition_chunks",
+    "read_csv_sharded",
+    "read_binary_sharded",
+]
+
+#: Columns a table may be partitioned on (any discrete flow feature).
+PARTITION_KEYS = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "proto",
+    "router",
+)
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def stable_hash64(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over integer values.
+
+    Deterministic for a given ``(value, seed)`` on every platform; the
+    seed perturbs placement without correlating nearby key values.
+    """
+    x = np.asarray(values).astype(np.uint64, copy=True)
+    x += np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    x = (x ^ (x >> _S30)) * _M1
+    x = (x ^ (x >> _S27)) * _M2
+    return x ^ (x >> _S31)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How to split a flow set into shards.
+
+    ``shards`` is the partition count (== the worker fan-out),
+    ``key`` the flow column whose value decides a row's shard, and
+    ``seed`` perturbs the placement hash.
+    """
+
+    shards: int = 1
+    key: str = "src_ip"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise FlowError(f"shards must be >= 1: {self.shards!r}")
+        if self.key not in PARTITION_KEYS:
+            raise FlowError(
+                f"unknown partition key {self.key!r}; expected one of "
+                f"{PARTITION_KEYS}"
+            )
+
+
+def shard_ids(table: FlowTable, spec: PartitionSpec) -> np.ndarray:
+    """Per-row shard assignment in ``[0, spec.shards)``."""
+    if spec.shards == 1:
+        return np.zeros(len(table), dtype=np.int64)
+    hashed = stable_hash64(table.column(spec.key), seed=spec.seed)
+    return (hashed % np.uint64(spec.shards)).astype(np.int64)
+
+
+def partition_table(
+    table: FlowTable, spec: PartitionSpec
+) -> list[FlowTable]:
+    """Split a table into ``spec.shards`` per-shard tables.
+
+    Always returns exactly ``spec.shards`` tables (some possibly
+    empty); each preserves the input row order of its rows.
+    """
+    if spec.shards == 1:
+        return [table]
+    ids = shard_ids(table, spec)
+    return [table.select(ids == shard) for shard in range(spec.shards)]
+
+
+def partition_chunks(
+    chunks: Iterable[FlowTable], spec: PartitionSpec
+) -> Iterator[list[FlowTable]]:
+    """Partition a chunk stream: one per-shard split per chunk."""
+    for chunk in chunks:
+        yield partition_table(chunk, spec)
+
+
+def _gather_shards(
+    chunks: Iterable[FlowTable], spec: PartitionSpec
+) -> list[FlowTable]:
+    """Fan a chunk stream into consolidated per-shard tables."""
+    buckets: list[list[FlowTable]] = [[] for _ in range(spec.shards)]
+    for split in partition_chunks(chunks, spec):
+        for shard, rows in enumerate(split):
+            if len(rows):
+                buckets[shard].append(rows)
+    return [FlowTable.concat(bucket) for bucket in buckets]
+
+
+def read_csv_sharded(
+    source,
+    spec: PartitionSpec,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> list[FlowTable]:
+    """Read a CSV trace straight into per-shard tables.
+
+    Rows decode chunk-wise (bounded memory) and fan directly into
+    their shards — the whole-trace table is never materialised.
+    """
+    return _gather_shards(iter_csv_tables(source, chunk_rows), spec)
+
+
+def read_binary_sharded(
+    path,
+    spec: PartitionSpec,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> list[FlowTable]:
+    """Read a ``.rpv5`` trace straight into per-shard tables."""
+    return _gather_shards(iter_binary_tables(path, chunk_rows), spec)

@@ -84,6 +84,36 @@ class WindowAccumulator:
             for weighting in weightings
         }
 
+    @property
+    def features(self) -> tuple[FlowFeature, ...]:
+        """Features this accumulator keeps histograms for."""
+        return self._features
+
+    @property
+    def weightings(self) -> tuple[str, ...]:
+        """Histogram weightings maintained per feature."""
+        return self._weightings
+
+    def merge(self, other: "WindowAccumulator") -> None:
+        """Fold another accumulator's state into this one.
+
+        Counter addition over integers is associative and commutative,
+        so merging per-shard partials equals one-pass accumulation of
+        the same rows — the sharded stream engine's window-close step.
+        ``other`` must maintain the same (features, weightings).
+        """
+        if (other._features, other._weightings) != (
+            self._features, self._weightings
+        ):
+            raise FlowError(
+                "cannot merge accumulators with different layouts"
+            )
+        self.flows += other.flows
+        self.packets += other.packets
+        self.bytes += other.bytes
+        for key, counter in other.values.items():
+            self.values[key].update(counter)
+
     @staticmethod
     def _weight_column(chunk: FlowTable, weighting: str) -> np.ndarray | None:
         """Per-row weights; ``None`` means count rows (flow weighting)."""
@@ -189,6 +219,21 @@ class StreamingDetector(abc.ABC):
         state: WindowAccumulator,
     ) -> Alarm | None:
         """Score one closed window from its accumulated state."""
+
+    def make_accumulator(self) -> WindowAccumulator:
+        """A fresh accumulator of this detector's layout (public seam)."""
+        return self._new_accumulator()
+
+    def seed_state(
+        self, index: int, state: WindowAccumulator
+    ) -> None:
+        """Install externally accumulated state for one open window.
+
+        The sharded stream engine accumulates per shard and merges, then
+        seeds the merged state here so :meth:`close` evaluates it through
+        the standard path.
+        """
+        self._open[index] = state
 
     def observe(self, index: int, chunk: FlowTable) -> None:
         """Fold a routed sub-chunk into the window's rolling state."""

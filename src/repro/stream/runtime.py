@@ -19,7 +19,7 @@ keep arriving.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.detect.base import Alarm
 from repro.flows.table import FlowTable
@@ -30,6 +30,9 @@ from repro.system.alarmdb import AlarmDatabase, AlarmStatus
 from repro.system.backend import FlowBackend
 from repro.system.config import SystemConfig
 from repro.system.pipeline import ExtractionSystem, TriageResult
+
+if TYPE_CHECKING:
+    from repro.parallel.executor import ShardExecutor
 
 __all__ = ["WindowResult", "StreamStats", "StreamEngine"]
 
@@ -73,6 +76,8 @@ class StreamEngine:
         triage: bool = False,
         config: SystemConfig | None = None,
         on_window: Callable[[WindowResult], None] | None = None,
+        workers: int = 1,
+        executor: "ShardExecutor | None" = None,
     ) -> None:
         self.detectors = list(detectors)
         self.ring = WindowRing(
@@ -94,6 +99,8 @@ class StreamEngine:
                 ),
                 alarmdb=self.alarmdb,
                 config=self.config,
+                workers=workers,
+                executor=executor,
             )
         self.on_window = on_window
         self.stats = StreamStats()
@@ -107,9 +114,17 @@ class StreamEngine:
         self.stats.flows += ingest.admitted
         self.stats.late_dropped += ingest.late_dropped
         for index, rows in ingest.routed:
-            for detector in self.detectors:
-                detector.observe(index, rows)
+            self._observe(index, rows)
         return [self._seal(window) for window in self.ring.close_due()]
+
+    def _observe(self, index: int, rows: FlowTable) -> None:
+        """Fold one routed sub-chunk into per-window detector state.
+
+        The sharded engine overrides this to bucket rows by shard and
+        defer accumulation to window close.
+        """
+        for detector in self.detectors:
+            detector.observe(index, rows)
 
     def finish(self) -> list[WindowResult]:
         """End of stream: seal every remaining window."""
@@ -122,6 +137,16 @@ class StreamEngine:
             results.extend(self.process(chunk))
         results.extend(self.finish())
         return results
+
+    def close(self) -> None:
+        """Release resources held for triage (idempotent).
+
+        Long-running deployments with ``workers > 1`` should call this
+        (or :meth:`ShardedStreamEngine.close`) when retiring an engine
+        so sharded triage worker pools do not outlive it.
+        """
+        if self.system is not None:
+            self.system.close()
 
     # -- window sealing ----------------------------------------------------
 

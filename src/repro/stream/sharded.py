@@ -1,0 +1,214 @@
+"""The sharded stream engine: per-shard accumulation, merge on close.
+
+:class:`ShardedStreamEngine` is the scale-out variant of
+:class:`~repro.stream.runtime.StreamEngine`. Ingest stays cheap and
+single-threaded — the window ring routes chunks by time exactly as
+before — but every routed sub-chunk is *bucketed* by the partition
+hash instead of being folded into detector state immediately. The
+expensive part (per-feature value histograms, `np.unique` over every
+column) runs **per shard** through a
+:class:`~repro.parallel.executor.ShardExecutor`, and the per-shard
+:class:`~repro.stream.incremental.WindowAccumulator` partials are
+merged in the parent before scoring. Fan-out happens whenever a
+window's buffer reaches ``flush_rows`` and once more when the
+watermark seals it, so — unlike naive buffer-to-close — raw rows held
+per open window stay bounded while the heavy accumulation still runs
+in batches big enough to be worth shipping.
+
+Equivalence with the unsharded engine is inherited from the
+incremental-state contract (ARCHITECTURE.md): accumulators hold
+integer counters, merging is counter addition (associative and
+commutative, so any shard split equals one-pass accumulation), float
+quantities are derived at evaluation time from value-sorted counts,
+and scoring goes through the same ``evaluate_window`` entry points —
+so alarms, dedup decisions and triage results are identical for any
+shard count. Alarm insertion, re-fire dedup, live triage and stats
+are reused verbatim from the base engine; triage itself mines through
+the sharded extractor when ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import StoreError
+from repro.flows.table import FlowTable
+from repro.flows.trace import DEFAULT_BIN_SECONDS
+from repro.parallel.executor import ShardExecutor
+from repro.parallel.partition import PartitionSpec, shard_ids
+from repro.stream.incremental import StreamingDetector, WindowAccumulator
+from repro.stream.runtime import StreamEngine, WindowResult
+from repro.stream.window import ClosedWindow
+from repro.system.alarmdb import AlarmDatabase
+from repro.system.config import SystemConfig
+
+__all__ = ["ShardedStreamEngine"]
+
+
+def _accumulate_task(
+    table: FlowTable, layouts: tuple[tuple, ...]
+) -> list[WindowAccumulator]:
+    """Worker task: one shard's window partial per accumulator layout.
+
+    ``layouts`` lists distinct ``(features, weightings)`` pairs needed
+    by the engine's detectors; each yields one accumulator over the
+    shard's rows.
+    """
+    partials = []
+    for features, weightings in layouts:
+        accumulator = WindowAccumulator(
+            features=features, weightings=weightings
+        )
+        accumulator.update(table)
+        partials.append(accumulator)
+    return partials
+
+
+class ShardedStreamEngine(StreamEngine):
+    """Stream engine whose window accumulation fans out over shards."""
+
+    def __init__(
+        self,
+        detectors: Iterable[StreamingDetector],
+        workers: int = 1,
+        partition: PartitionSpec | None = None,
+        executor: ShardExecutor | None = None,
+        flush_rows: int = 262_144,
+        window_seconds: float = DEFAULT_BIN_SECONDS,
+        origin: float | None = None,
+        lateness_seconds: float | None = 0.0,
+        retain_windows: int = 16,
+        alarmdb: AlarmDatabase | None = None,
+        dedup_window: float | None = None,
+        triage: bool = False,
+        config: SystemConfig | None = None,
+        on_window=None,
+    ) -> None:
+        if executor is not None:
+            # A caller handing us a pool means that much fan-out: an
+            # explicit ShardExecutor(4) must not silently run 1 shard.
+            workers = max(workers, executor.workers)
+        if partition is None:
+            partition = PartitionSpec(shards=max(workers, 1))
+        self._owns_executor = executor is None
+        if executor is None:
+            executor = ShardExecutor(workers)
+        self.partition = partition
+        self.executor = executor
+        super().__init__(
+            detectors,
+            window_seconds=window_seconds,
+            origin=origin,
+            lateness_seconds=lateness_seconds,
+            retain_windows=retain_windows,
+            alarmdb=alarmdb,
+            dedup_window=dedup_window,
+            triage=triage,
+            config=config,
+            on_window=on_window,
+            workers=workers,
+            executor=executor,
+        )
+        if flush_rows < 1:
+            raise StoreError(
+                f"flush_rows must be >= 1: {flush_rows!r}"
+            )
+        self.flush_rows = flush_rows
+        # Distinct accumulator layouts across detectors; detectors
+        # sharing a layout share the merged window partial.
+        self._layouts: list[tuple] = []
+        self._layout_of: list[int] = []
+        for detector in self.detectors:
+            template = detector.make_accumulator()
+            layout = (template.features, template.weightings)
+            if layout not in self._layouts:
+                self._layouts.append(layout)
+            self._layout_of.append(self._layouts.index(layout))
+        #: Open-window shard buckets: window index -> per-shard chunk
+        #: lists. Bounded: once a window holds ``flush_rows`` buffered
+        #: rows the buckets fan out into :attr:`_partials` and are
+        #: dropped, so raw rows never accumulate past the threshold.
+        self._buckets: dict[int, list[list[FlowTable]]] = {}
+        self._buffered: dict[int, int] = {}
+        #: Merged per-layout accumulators of already-flushed rows.
+        self._partials: dict[int, list[WindowAccumulator]] = {}
+
+    def close(self) -> None:
+        """Release worker processes and buffered window state."""
+        super().close()
+        self._buckets.clear()
+        self._buffered.clear()
+        self._partials.clear()
+        if self._owns_executor:
+            self.executor.close()
+
+    # -- ingest ------------------------------------------------------------
+
+    def _observe(self, index: int, rows: FlowTable) -> None:
+        """Bucket a routed sub-chunk by shard; fan out when full."""
+        buckets = self._buckets.get(index)
+        if buckets is None:
+            buckets = self._buckets[index] = [
+                [] for _ in range(self.partition.shards)
+            ]
+        if self.partition.shards == 1:
+            buckets[0].append(rows)
+        else:
+            ids = shard_ids(rows, self.partition)
+            for shard in range(self.partition.shards):
+                selected = rows.select(ids == shard)
+                if len(selected):
+                    buckets[shard].append(selected)
+        buffered = self._buffered.get(index, 0) + len(rows)
+        if buffered >= self.flush_rows:
+            self._flush(index)
+        else:
+            self._buffered[index] = buffered
+
+    def _flush(self, index: int) -> None:
+        """Fan one window's buffered rows out and merge the partials.
+
+        Keeps ingest memory bounded: raw rows of an open window never
+        exceed ``flush_rows`` — merged accumulators carry the rest,
+        and merging across flushes is exact (integer counters).
+        """
+        buckets = self._buckets.pop(index, None)
+        self._buffered.pop(index, None)
+        if buckets is None:
+            return
+        shards = [
+            FlowTable.concat(chunks) for chunks in buckets if chunks
+        ]
+        if not shards:
+            return
+        merged = self._partials.get(index)
+        if merged is None:
+            merged = self._partials[index] = [
+                WindowAccumulator(features=features, weightings=weightings)
+                for features, weightings in self._layouts
+            ]
+        layouts = tuple(self._layouts)
+        partial_lists = self.executor.map_tables(
+            _accumulate_task, shards, [(layouts,)] * len(shards)
+        )
+        for partials in partial_lists:
+            for target, partial in zip(merged, partials):
+                target.merge(partial)
+
+    # -- window close ------------------------------------------------------
+
+    def _seal(self, window: ClosedWindow) -> WindowResult:
+        self._flush(window.index)
+        merged = self._partials.pop(window.index, None)
+        if merged is None:
+            merged = [
+                WindowAccumulator(features=features, weightings=weightings)
+                for features, weightings in self._layouts
+            ]
+        # Seed the merged state so the adapters' close() pops it and
+        # evaluates through the shared batch entry points.
+        for detector, layout_index in zip(
+            self.detectors, self._layout_of
+        ):
+            detector.seed_state(window.index, merged[layout_index])
+        return super()._seal(window)

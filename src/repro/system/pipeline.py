@@ -16,6 +16,7 @@ out. This is the object the examples and the Figure-1 benchmark drive.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.detect.base import Alarm, Detector
 from repro.errors import ExtractionError, ReproError
@@ -26,6 +27,9 @@ from repro.flows.trace import FlowTrace
 from repro.system.alarmdb import AlarmDatabase, AlarmStatus
 from repro.system.backend import FlowBackend
 from repro.system.config import SystemConfig
+
+if TYPE_CHECKING:
+    from repro.parallel.executor import ShardExecutor
 
 __all__ = ["TriageResult", "ExtractionSystem"]
 
@@ -47,17 +51,27 @@ class ExtractionSystem:
         backend: FlowBackend,
         alarmdb: AlarmDatabase | None = None,
         config: SystemConfig | None = None,
+        workers: int = 1,
+        executor: "ShardExecutor | None" = None,
     ) -> None:
+        """``workers > 1`` shards the extraction mining step across
+        that many partitions (identical reports, higher throughput —
+        see :mod:`repro.parallel`); ``executor`` optionally shares an
+        existing worker pool."""
         self.config = config or SystemConfig()
         self.backend = backend
         self.alarmdb = alarmdb or AlarmDatabase()
-        self.extractor = AnomalyExtractor(self.config.extraction)
+        self.workers = workers
+        self.extractor = AnomalyExtractor(
+            self.config.extraction, workers=workers, executor=executor
+        )
 
     @classmethod
     def from_trace(
         cls,
         trace: FlowTrace,
         config: SystemConfig | None = None,
+        workers: int = 1,
     ) -> "ExtractionSystem":
         """Build a system over an in-memory trace archive."""
         config = config or SystemConfig()
@@ -66,7 +80,11 @@ class ExtractionSystem:
             baseline_bins=config.baseline_bins,
             pad_bins=config.pad_bins,
         )
-        return cls(backend, config=config)
+        return cls(backend, config=config, workers=workers)
+
+    def close(self) -> None:
+        """Release extraction worker pools this system owns (idempotent)."""
+        self.extractor.close()
 
     # -- alarm ingestion ------------------------------------------------------
 

@@ -108,6 +108,51 @@ class TestStream:
         code = main(["stream", str(trace_path), "--train-bins", "10"])
         assert code == 2
 
+    def test_stream_workers_matches_serial(self, long_trace, capsys):
+        code = main([
+            "stream", str(long_trace), "--train-bins", "8",
+            "--triage", "--dedup-window", "600",
+        ])
+        assert code == 0
+        serial = capsys.readouterr().out
+        code = main([
+            "stream", str(long_trace), "--train-bins", "8",
+            "--triage", "--dedup-window", "600", "--workers", "3",
+        ])
+        assert code == 0
+        sharded = capsys.readouterr().out
+        # Identical windows/alarms/triage; only the timing line varies.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if not line.startswith("streamed ")
+        ]
+        assert strip(sharded) == strip(serial)
+
+    def test_stream_interrupt_summarises_cleanly(
+        self, long_trace, capsys, monkeypatch
+    ):
+        from repro.stream import ReplayDriver
+
+        original = ReplayDriver.chunks
+
+        def interrupted_chunks(self):
+            for count, chunk in enumerate(original(self)):
+                if count == 2:
+                    raise KeyboardInterrupt
+                yield chunk
+
+        monkeypatch.setattr(ReplayDriver, "chunks", interrupted_chunks)
+        code = main(["stream", str(long_trace), "--train-bins", "8"])
+        assert code == 130
+        out = capsys.readouterr().out
+        assert "interrupted after" in out
+        assert "windows" in out
+
+    def test_workers_flag_rejects_non_positive(self, long_trace, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", str(long_trace), "--workers", "0"])
+        assert "workers must be >= 1" in capsys.readouterr().err
+
 
 class TestDetect:
     def test_too_short_trace(self, trace_path, capsys):
