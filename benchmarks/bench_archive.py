@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Archive benchmark: ingest throughput, pruned vs full-scan queries.
+
+Three measurements over a synthetic mixed-traffic trace persisted to a
+temporary archive directory:
+
+* **ingest throughput** — flows/second through the buffered writer
+  (time partitioning, zone-map construction, atomic file writes);
+* **query latency** — a narrow window+filter query answered three
+  ways: zone-map pruned (the default), full scan (pruning disabled)
+  and via the in-memory ``FlowStore`` baseline. The acceptance floor
+  is the tentpole criterion: pruning must make the narrow query at
+  least 10x faster than the full archive scan at 1M flows;
+* **count fast path** — aggregate counters for an archived window
+  answered from zone maps alone (zero payload reads).
+
+Run:  PYTHONPATH=src python benchmarks/bench_archive.py [--flows N]
+
+Writes ``BENCH_archive.json``; ``--check`` gates on the 10x pruning
+floor and on reads being served as zero-copy mmap views.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.archive import ArchiveReader, ArchiveWriter  # noqa: E402
+from repro.flows.store import FlowStore  # noqa: E402
+from repro.flows.table import FlowTable  # noqa: E402
+from repro.stream.sources import table_chunks  # noqa: E402
+
+SLICE_SECONDS = 300.0
+ACCEPTANCE_SPEEDUP = 10.0
+#: The narrow query: one rotation slice, one unpopular port.
+QUERY_FILTER = "dst port 123 and packets > 1000"
+
+
+def synth_table(count: int, span: float, seed: int = 7) -> FlowTable:
+    """Plausible mixed traffic spread over ``span`` seconds."""
+    rng = np.random.default_rng(seed)
+    start = np.sort(rng.uniform(0.0, span, count))
+    return FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0AFFFFFF, count),
+        dst_ip=rng.integers(0x0A000000, 0x0AFFFFFF, count),
+        src_port=rng.integers(1024, 65536, count),
+        dst_port=rng.choice(
+            np.array([53, 80, 443, 8080, 25, 123]), count
+        ),
+        proto=rng.choice(np.array([6, 6, 6, 17, 1]), count),
+        packets=rng.integers(1, 2000, count),
+        bytes=rng.integers(40, 1_000_000, count),
+        start=start,
+        end=start + rng.uniform(0.0, 120.0, count),
+        tcp_flags=rng.integers(0, 0x40, count),
+        router=rng.integers(0, 23, count),
+        sampling_rate=np.ones(count, dtype=np.int64),
+    )
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def run(flows: int, repeats: int) -> dict:
+    # ~16k flows per 5-minute slice, matching a mid-size deployment.
+    span = max(2.0, flows / 16_384) * SLICE_SECONDS
+    table = synth_table(flows, span)
+    root = Path(tempfile.mkdtemp(prefix="bench-archive-"))
+    try:
+        t0 = time.perf_counter()
+        with ArchiveWriter(root, slice_seconds=SLICE_SECONDS) as writer:
+            writer.ingest_chunks(table_chunks(table, 65_536))
+        ingest_wall = time.perf_counter() - t0
+
+        pruned = ArchiveReader(root)
+        full = ArchiveReader(root, use_zone_maps=False)
+        store = FlowStore(slice_seconds=SLICE_SECONDS)
+        store.insert_table(table)
+
+        # The narrow query: one slice in the middle, plus a filter the
+        # zone maps can also prune on.
+        mid = (span // (2 * SLICE_SECONDS)) * SLICE_SECONDS
+        window = (mid, mid + SLICE_SECONDS)
+
+        def q(reader):
+            return reader.query_table(*window, QUERY_FILTER)
+
+        result_rows = len(q(pruned))
+        zero_copy = all(
+            isinstance(p.table()._data, np.memmap)
+            for p in pruned.partitions()
+        )
+        match = (
+            len(q(full)) == result_rows
+            and len(store.query_table(*window, QUERY_FILTER))
+            == result_rows
+        )
+
+        pruned_s = _median_seconds(lambda: q(pruned), repeats)
+        scan = pruned.last_scan
+        full_s = _median_seconds(lambda: q(full), repeats)
+        store_s = _median_seconds(
+            lambda: store.query_table(*window, QUERY_FILTER), repeats
+        )
+        count_s = _median_seconds(
+            lambda: pruned.count(*window), repeats
+        )
+        speedup = full_s / pruned_s if pruned_s > 0 else float("inf")
+
+        stats = pruned.stats()
+        return {
+            "benchmark": "archive_pruned_vs_full_scan",
+            "flows": flows,
+            "span_seconds": span,
+            "slice_seconds": SLICE_SECONDS,
+            "partitions": stats.partitions,
+            "payload_bytes": stats.payload_bytes,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "ingest": {
+                "wall_s": ingest_wall,
+                "flows_per_sec": flows / ingest_wall,
+            },
+            "narrow_query": {
+                "filter": QUERY_FILTER,
+                "window_s": SLICE_SECONDS,
+                "rows_returned": result_rows,
+                "partitions_scanned": scan.scanned,
+                "partitions_pruned": scan.pruned,
+                "pruned_ms": pruned_s * 1e3,
+                "full_scan_ms": full_s * 1e3,
+                "flowstore_ms": store_s * 1e3,
+                "pruning_speedup": speedup,
+                "results_match": match,
+            },
+            "count_fast_path_ms": count_s * 1e3,
+            "zero_copy_mmap": zero_copy,
+            "acceptance_min_speedup": ACCEPTANCE_SPEEDUP,
+            "acceptance_pass": bool(
+                speedup >= ACCEPTANCE_SPEEDUP and zero_copy and match
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flows", type=int, default=1_000_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the acceptance floor is met",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent
+            / "BENCH_archive.json"
+        ),
+    )
+    args = parser.parse_args()
+
+    results = run(args.flows, args.repeats)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+
+    query = results["narrow_query"]
+    print(
+        f"ingest: {results['ingest']['flows_per_sec']:,.0f} flows/s "
+        f"({results['partitions']} partitions, "
+        f"{results['payload_bytes']:,} bytes)"
+    )
+    print(
+        f"narrow query: pruned {query['pruned_ms']:.2f}ms "
+        f"(scanned {query['partitions_scanned']}, "
+        f"pruned {query['partitions_pruned']}) vs "
+        f"full scan {query['full_scan_ms']:.2f}ms vs "
+        f"in-memory {query['flowstore_ms']:.2f}ms "
+        f"-> {query['pruning_speedup']:.1f}x"
+    )
+    print(
+        f"count fast path: {results['count_fast_path_ms']:.3f}ms; "
+        f"zero-copy mmap: {results['zero_copy_mmap']}"
+    )
+    print(f"wrote {args.out}")
+    if args.check and not results["acceptance_pass"]:
+        print(
+            f"ACCEPTANCE FAIL: speedup "
+            f"{query['pruning_speedup']:.1f}x < "
+            f"{ACCEPTANCE_SPEEDUP}x floor (or reads not zero-copy)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,10 @@ Subpackages
 ``repro.system``
     Figure 1 assembled: alarm DB, flow backend, operator console,
     end-to-end pipeline.
+``repro.archive``
+    Persistent mmap'd columnar flow archive: time/shard-partitioned
+    files, zone-map-pruned queries, compaction — triage that survives
+    process restarts.
 ``repro.eval``
     Experiment harness regenerating every table, figure and in-text
     statistic of the paper.

@@ -1,0 +1,371 @@
+"""Zone maps: per-partition summaries that prune queries.
+
+A :class:`ZoneMap` is the sidecar index of one partition file. It
+stores just enough about the partition's rows — time bounds, per-column
+min/max, small value dictionaries, counter sums, the union of TCP
+flags — for a reader to decide *this partition cannot contribute to
+this query* without touching a single payload byte. That decision must
+be **sound, never complete**: :meth:`may_match` may return True for a
+partition that matches nothing (the row-level mask then drops it), but
+must never return False for a partition holding a matching row. The
+equivalence suite asserts pruned results equal full scans under
+Hypothesis-generated queries.
+
+Per feature column the zone keeps ``min``/``max``/``distinct`` and,
+when the partition has at most :data:`MAX_DICT_VALUES` distinct
+values, the sorted value dictionary itself — which turns membership
+primitives (``dst port 445``, ``src ip in [...]``) into exact
+partition-level checks. High-cardinality columns fall back to range
+pruning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ArchiveError
+from repro.flows.filter import (
+    And,
+    CounterMatch,
+    Direction,
+    FilterNode,
+    FlagsMatch,
+    IpMatch,
+    MatchAny,
+    NetMatch,
+    Not,
+    Or,
+    PortMatch,
+    ProtoMatch,
+    RouterMatch,
+)
+from repro.flows.table import FlowTable
+
+__all__ = ["MAX_DICT_VALUES", "ZONE_COLUMNS", "ColumnZone", "ZoneMap"]
+
+#: Value dictionaries are kept only up to this many distinct values.
+MAX_DICT_VALUES = 64
+
+#: Columns summarised per partition (the five mining features + router).
+ZONE_COLUMNS = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "proto",
+    "router",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnZone:
+    """Summary of one integer column over a partition."""
+
+    min: int
+    max: int
+    distinct: int
+    #: Sorted value dictionary, or ``None`` when cardinality exceeds
+    #: :data:`MAX_DICT_VALUES`.
+    values: tuple[int, ...] | None
+
+    @classmethod
+    def from_column(cls, column: np.ndarray) -> "ColumnZone":
+        unique = np.unique(column)
+        values = (
+            tuple(int(v) for v in unique)
+            if len(unique) <= MAX_DICT_VALUES
+            else None
+        )
+        return cls(
+            min=int(unique[0]),
+            max=int(unique[-1]),
+            distinct=int(len(unique)),
+            values=values,
+        )
+
+    # -- partition-level predicates ---------------------------------------
+
+    def may_contain(self, wanted) -> bool:
+        """Could any row hold one of ``wanted``? (exact with a dict)"""
+        if self.values is not None:
+            pool = set(self.values)
+            return any(value in pool for value in wanted)
+        return any(self.min <= value <= self.max for value in wanted)
+
+    def may_satisfy(self, comparator: str, bound: float) -> bool:
+        """Could ``value <comparator> bound`` hold for any row?"""
+        if comparator in ("=", "=="):
+            return self.may_contain((bound,))
+        if comparator == "!=":
+            return not (self.min == self.max == bound)
+        if comparator == "<":
+            return self.min < bound
+        if comparator == "<=":
+            return self.min <= bound
+        if comparator == ">":
+            return self.max > bound
+        if comparator == ">=":
+            return self.max >= bound
+        return True  # unknown comparator: never prune
+
+    def may_intersect_prefix(self, network: int, mask: int) -> bool:
+        """Could any row fall inside CIDR ``network/mask``?"""
+        if self.values is not None:
+            return any(
+                (value & mask) == network for value in self.values
+            )
+        low, high = network, network | (0xFFFFFFFF ^ mask)
+        return not (self.max < low or self.min > high)
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneMap:
+    """The queryable summary of one partition."""
+
+    rows: int
+    min_start: float
+    max_start: float
+    min_end: float
+    max_end: float
+    min_duration: float
+    max_duration: float
+    min_packets: int
+    max_packets: int
+    min_bytes: int
+    max_bytes: int
+    sum_packets: int
+    sum_bytes: int
+    flags_union: int
+    columns: Mapping[str, ColumnZone] = field(default_factory=dict)
+    #: A sealed partition is immutable: compaction never rewrites it.
+    sealed: bool = False
+    #: Rows are sorted by start time (compaction output always is).
+    sorted: bool = False
+    #: ``(shards, key, seed, shard)`` when written shard-aware.
+    shard_spec: tuple[int, str, int, int] | None = None
+    #: File names this partition superseded (compaction provenance;
+    #: a reader drops any live partition named here).
+    replaces: tuple[str, ...] = ()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls,
+        table: FlowTable,
+        sealed: bool = False,
+        sorted_rows: bool = False,
+        shard_spec: tuple[int, str, int, int] | None = None,
+        replaces: tuple[str, ...] = (),
+    ) -> "ZoneMap":
+        if not len(table):
+            raise ArchiveError("refusing to zone-map an empty partition")
+        starts, ends = table.start, table.end
+        durations = ends - starts
+        return cls(
+            rows=len(table),
+            min_start=float(starts.min()),
+            max_start=float(starts.max()),
+            min_end=float(ends.min()),
+            max_end=float(ends.max()),
+            min_duration=float(durations.min()),
+            max_duration=float(durations.max()),
+            min_packets=int(table.packets.min()),
+            max_packets=int(table.packets.max()),
+            min_bytes=int(table.bytes.min()),
+            max_bytes=int(table.bytes.max()),
+            sum_packets=table.total_packets(),
+            sum_bytes=table.total_bytes(),
+            flags_union=int(np.bitwise_or.reduce(table.tcp_flags)),
+            columns={
+                name: ColumnZone.from_column(table.column(name))
+                for name in ZONE_COLUMNS
+            },
+            sealed=sealed,
+            sorted=sorted_rows,
+            shard_spec=shard_spec,
+            replaces=tuple(replaces),
+        )
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "rows": self.rows,
+            "min_start": self.min_start,
+            "max_start": self.max_start,
+            "min_end": self.min_end,
+            "max_end": self.max_end,
+            "min_duration": self.min_duration,
+            "max_duration": self.max_duration,
+            "min_packets": self.min_packets,
+            "max_packets": self.max_packets,
+            "min_bytes": self.min_bytes,
+            "max_bytes": self.max_bytes,
+            "sum_packets": self.sum_packets,
+            "sum_bytes": self.sum_bytes,
+            "flags_union": self.flags_union,
+            "sealed": self.sealed,
+            "sorted": self.sorted,
+            "shard_spec": (
+                list(self.shard_spec) if self.shard_spec else None
+            ),
+            "replaces": list(self.replaces),
+            "columns": {
+                name: {
+                    "min": zone.min,
+                    "max": zone.max,
+                    "distinct": zone.distinct,
+                    "values": (
+                        list(zone.values)
+                        if zone.values is not None
+                        else None
+                    ),
+                }
+                for name, zone in self.columns.items()
+            },
+        }
+        return json.dumps(payload, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str, source: object = "") -> "ZoneMap":
+        where = f"{source}: " if source else ""
+        try:
+            data = json.loads(text)
+            columns = {
+                name: ColumnZone(
+                    min=int(zone["min"]),
+                    max=int(zone["max"]),
+                    distinct=int(zone["distinct"]),
+                    values=(
+                        tuple(int(v) for v in zone["values"])
+                        if zone["values"] is not None
+                        else None
+                    ),
+                )
+                for name, zone in data["columns"].items()
+            }
+            shard_raw = data.get("shard_spec")
+            shard_spec = (
+                (
+                    int(shard_raw[0]),
+                    str(shard_raw[1]),
+                    int(shard_raw[2]),
+                    int(shard_raw[3]),
+                )
+                if shard_raw
+                else None
+            )
+            return cls(
+                rows=int(data["rows"]),
+                min_start=float(data["min_start"]),
+                max_start=float(data["max_start"]),
+                min_end=float(data["min_end"]),
+                max_end=float(data["max_end"]),
+                min_duration=float(data["min_duration"]),
+                max_duration=float(data["max_duration"]),
+                min_packets=int(data["min_packets"]),
+                max_packets=int(data["max_packets"]),
+                min_bytes=int(data["min_bytes"]),
+                max_bytes=int(data["max_bytes"]),
+                sum_packets=int(data["sum_packets"]),
+                sum_bytes=int(data["sum_bytes"]),
+                flags_union=int(data["flags_union"]),
+                columns=columns,
+                sealed=bool(data.get("sealed", False)),
+                sorted=bool(data.get("sorted", False)),
+                shard_spec=shard_spec,
+                replaces=tuple(data.get("replaces", ())),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ArchiveError(
+                f"{where}corrupt zone map: {exc}"
+            ) from exc
+
+    # -- pruning -----------------------------------------------------------
+
+    def overlaps_window(self, start: float, end: float) -> bool:
+        """Could any row *start* inside ``[start, end)``?"""
+        return self.max_start >= start and self.min_start < end
+
+    def covered_by_window(self, start: float, end: float) -> bool:
+        """Do *all* rows start inside ``[start, end)``? (no time mask
+        needed — the partition serves as one zero-copy mmap view)"""
+        return self.min_start >= start and self.max_start < end
+
+    def may_match(self, node: FilterNode) -> bool:
+        """Could any row match the filter? Sound, not complete."""
+        if isinstance(node, And):
+            return all(self.may_match(child) for child in node.children)
+        if isinstance(node, Or):
+            return any(self.may_match(child) for child in node.children)
+        if isinstance(node, MatchAny):
+            return True
+        if isinstance(node, Not):
+            # Complement pruning needs "all rows match child", which
+            # zone summaries cannot assert in general — never prune.
+            return True
+        if isinstance(node, IpMatch):
+            return self._membership(
+                node.direction, "src_ip", "dst_ip", node.addresses
+            )
+        if isinstance(node, NetMatch):
+            network = int(node.prefix.network)
+            mask = int(node.prefix.mask)
+            sides = self._sides(node.direction, "src_ip", "dst_ip")
+            return any(
+                self.columns[side].may_intersect_prefix(network, mask)
+                for side in sides
+            )
+        if isinstance(node, PortMatch):
+            sides = self._sides(node.direction, "src_port", "dst_port")
+            if node.comparator is None:
+                return any(
+                    self.columns[side].may_contain(node.ports)
+                    for side in sides
+                )
+            (bound,) = node.ports
+            return any(
+                self.columns[side].may_satisfy(node.comparator, bound)
+                for side in sides
+            )
+        if isinstance(node, ProtoMatch):
+            return self.columns["proto"].may_contain((node.proto,))
+        if isinstance(node, RouterMatch):
+            return self.columns["router"].may_contain((node.router,))
+        if isinstance(node, CounterMatch):
+            bounds = {
+                "packets": (self.min_packets, self.max_packets),
+                "bytes": (self.min_bytes, self.max_bytes),
+                "duration": (self.min_duration, self.max_duration),
+            }.get(node.field)
+            if bounds is None:
+                return True
+            zone = ColumnZone(
+                min=bounds[0], max=bounds[1], distinct=2, values=None
+            )
+            return zone.may_satisfy(node.comparator, node.value)
+        if isinstance(node, FlagsMatch):
+            return (self.flags_union & node.flags) == node.flags
+        return True  # unknown node type: never prune
+
+    def _sides(
+        self, direction: Direction, src: str, dst: str
+    ) -> tuple[str, ...]:
+        if direction is Direction.SRC:
+            return (src,)
+        if direction is Direction.DST:
+            return (dst,)
+        return (src, dst)
+
+    def _membership(
+        self, direction: Direction, src: str, dst: str, wanted
+    ) -> bool:
+        return any(
+            self.columns[side].may_contain(wanted)
+            for side in self._sides(direction, src, dst)
+        )

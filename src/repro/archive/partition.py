@@ -1,0 +1,104 @@
+"""One on-disk partition: header-checked, zone-mapped, mmap-served.
+
+A :class:`Partition` binds a data file to its parsed
+:class:`~repro.archive.index.ZoneMap` and serves the payload as a
+**zero-copy** :class:`~repro.flows.table.FlowTable`: the rows are a
+read-only ``np.memmap`` view straight over the file at the 32-byte
+header offset — opening a partition does not read, decode or copy the
+payload. Page cache pressure is the only cost of a cold archive, and
+a partition that prunes out of a query costs nothing at all.
+
+Integrity is checked *before* a partition is served, from metadata
+alone (header fields, file sizes, sidecar agreement — never a payload
+scan):
+
+* bad magic or a foreign schema version →
+  :class:`~repro.errors.CodecError` (the file is well-formed but not
+  ours to parse);
+* truncated or inflated payload, row-count disagreement with the
+  sidecar → :class:`~repro.errors.ArchiveError` (the reader
+  quarantines the file and keeps serving the rest of the archive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.archive.index import ZoneMap
+from repro.archive.layout import (
+    PARTITION_HEADER_SIZE,
+    PartitionKey,
+    unpack_partition_header,
+)
+from repro.errors import ArchiveError
+from repro.flows.table import FLOW_DTYPE, FlowTable
+
+__all__ = ["Partition", "load_partition"]
+
+
+@dataclass
+class Partition:
+    """A servable partition: identity, files, zone map, lazy table."""
+
+    key: PartitionKey
+    path: Path
+    zone: ZoneMap
+    _table: FlowTable | None = field(default=None, repr=False)
+
+    @property
+    def rows(self) -> int:
+        return self.zone.rows
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.zone.rows * FLOW_DTYPE.itemsize
+
+    def table(self) -> FlowTable:
+        """The partition's rows as a zero-copy mmap-backed table.
+
+        The mapping is opened read-only (``mode="r"``) and cached on
+        the partition; every caller shares the same pages. Mutating
+        the returned table's columns is impossible — the OS enforces
+        the archive's immutability contract.
+        """
+        if self._table is None:
+            data = np.memmap(
+                self.path,
+                dtype=FLOW_DTYPE,
+                mode="r",
+                offset=PARTITION_HEADER_SIZE,
+                shape=(self.zone.rows,),
+            )
+            self._table = FlowTable(data)
+        return self._table
+
+
+def load_partition(
+    key: PartitionKey, path: Path, zone_text: str
+) -> Partition:
+    """Validate and bind one partition file to its sidecar.
+
+    Checks are metadata-only: the 32-byte header (magic, schema
+    version, row count) and the exact file size the row count implies.
+    Raises :class:`~repro.errors.CodecError` for foreign bytes and
+    :class:`~repro.errors.ArchiveError` for torn ones.
+    """
+    zone = ZoneMap.from_json(zone_text, source=path)
+    with open(path, "rb") as handle:
+        header = handle.read(PARTITION_HEADER_SIZE)
+    rows = unpack_partition_header(header, source=path)
+    if rows != zone.rows:
+        raise ArchiveError(
+            f"{path}: header says {rows} rows, zone map says {zone.rows}"
+        )
+    expected = PARTITION_HEADER_SIZE + rows * FLOW_DTYPE.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ArchiveError(
+            f"{path}: file is {actual} bytes; {expected} expected "
+            f"for {rows} rows — truncated or inflated partition"
+        )
+    return Partition(key=key, path=path, zone=zone)

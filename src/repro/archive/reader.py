@@ -1,0 +1,552 @@
+"""Querying an archive: prune with zone maps, serve mmap views.
+
+:class:`ArchiveReader` answers the same window+filter queries as the
+in-memory :class:`~repro.flows.store.FlowStore` — deliberately so: it
+implements the store's query surface (``query_table`` / ``query`` /
+``count`` / ``top_feature_values`` plus ``slice_seconds`` and
+``origin``), which lets a :class:`~repro.system.backend.FlowBackend`,
+and therefore the whole triage pipeline, run against the on-disk
+archive unchanged. Results are **byte-identical** to a `FlowStore`
+holding the same rows (the equivalence suite asserts it): partitions
+scan in canonical ``(slice, shard, seq)`` order and the final
+``(start, 5-tuple)`` lexsort resolves ties by that order, exactly as
+the store's slice-order concat does.
+
+A query touches a partition's payload only when it must:
+
+1. the **zone map** (time bounds, per-feature summaries) prunes
+   partitions that cannot contribute — no file I/O at all;
+2. a surviving partition mmaps as a zero-copy
+   :class:`~repro.flows.table.FlowTable`; if the zone map proves every
+   row starts inside the window and there is no filter, the view is
+   served whole — still zero-copy;
+3. otherwise a boolean mask selects the matching rows (one copy of
+   just those rows, like any store query).
+
+Scanning the directory re-validates integrity cheaply (header +
+sizes): torn files, orphaned temporaries and sidecar-less data files
+are moved to ``quarantine/`` and counted, never served, and never
+fatal for the rest of the archive. Per-query pruning counters are
+kept on :attr:`last_scan` — the benchmark and the operator ``stats``
+command both read them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.archive.layout import ArchiveLayout
+from repro.archive.partition import Partition, load_partition
+from repro.errors import ArchiveError, CodecError, StoreError
+from repro.flows.filter import FilterNode, compile_mask, parse_filter
+from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FLOW_DTYPE, FlowTable
+from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
+
+if TYPE_CHECKING:
+    from repro.parallel.partition import PartitionSpec
+
+__all__ = ["ScanStats", "ArchiveStats", "ArchiveReader"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScanStats:
+    """How the last query used (or skipped) the archive's partitions."""
+
+    partitions: int
+    pruned_time: int
+    pruned_filter: int
+    scanned: int
+    rows_scanned: int
+    rows_returned: int
+
+    @property
+    def pruned(self) -> int:
+        return self.pruned_time + self.pruned_filter
+
+
+@dataclass(frozen=True, slots=True)
+class ArchiveStats:
+    """Aggregate state of the archive directory."""
+
+    partitions: int
+    sealed: int
+    rows: int
+    payload_bytes: int
+    slices: int
+    shards: int
+    quarantined: int
+    span: tuple[float, float] | None
+
+
+class ArchiveReader:
+    """Read-only, zone-map-pruned view of one archive directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        use_zone_maps: bool = True,
+        auto_refresh: bool = True,
+    ) -> None:
+        """``use_zone_maps=False`` disables pruning (every query scans
+        every partition) — the full-scan baseline for the benchmark and
+        the equivalence tests. ``auto_refresh`` re-scans the directory
+        before each query so a reader following a live writer (the
+        streaming triage loop) sees newly sealed windows."""
+        self.layout = ArchiveLayout(root)
+        self.use_zone_maps = use_zone_maps
+        self.auto_refresh = auto_refresh
+        self._partitions: list[Partition] = []
+        self._loaded: dict[str, Partition] = {}
+        self._quarantined = 0
+        self._dir_stamp: int | None = None
+        self._geometry: tuple[float, float] | None = None
+        self.last_scan = ScanStats(0, 0, 0, 0, 0, 0)
+        self.refresh()
+
+    # -- directory scan ----------------------------------------------------
+
+    def _manifest(self) -> tuple[float, float] | None:
+        # Geometry is written once and never moves, so the first
+        # successful read is cached — FlowBackend reads slice_seconds
+        # per alarm and must not pay a file open + JSON parse each time.
+        if self._geometry is None:
+            self._geometry = self.layout.read_manifest()
+        return self._geometry
+
+    @property
+    def slice_seconds(self) -> float:
+        """Rotation width from the manifest (default before one exists)."""
+        manifest = self._manifest()
+        return manifest[0] if manifest else DEFAULT_BIN_SECONDS
+
+    @property
+    def origin(self) -> float:
+        """Left edge of slice 0 (0.0 for an empty archive)."""
+        manifest = self._manifest()
+        return manifest[1] if manifest else 0.0
+
+    def refresh(self) -> None:
+        """Re-scan the directory: admit new partitions, quarantine bad.
+
+        Already-validated partitions are reused (their mmaps stay
+        shared); schema-version mismatches raise
+        :class:`~repro.errors.CodecError` — a foreign-version archive
+        must fail loudly, not shrink silently. An unchanged directory
+        (same mtime as the last scan — file additions, renames and
+        quarantine moves all bump it) short-circuits, which keeps
+        ``auto_refresh`` queries cheap on a quiet archive.
+        """
+        try:
+            stamp = self.layout.root.stat().st_mtime_ns
+        except FileNotFoundError:
+            stamp = None
+        if stamp is not None and stamp == self._dir_stamp:
+            return
+        # Only trust a stamp that is comfortably in the past: file
+        # timestamps come from a coarse kernel clock, so a rename
+        # landing in the same tick as this scan would not bump the
+        # mtime and a cached fresh stamp could hide it forever.
+        if stamp is not None and \
+                time.time_ns() - stamp < 50_000_000:  # 50 ms
+            stamp = None
+        for stray in self.layout.stray_files():
+            self.layout.quarantine(stray, "orphaned temporary file")
+            self._quarantined += 1
+        live: list[Partition] = []
+        superseded: set[str] = set()
+        seen: set[str] = set()
+        for key, path in self.layout.partition_files():
+            seen.add(path.name)
+            cached = self._loaded.get(path.name)
+            if cached is not None:
+                live.append(cached)
+                superseded.update(cached.zone.replaces)
+                continue
+            zone_path = self.layout.zone_path(path)
+            try:
+                zone_text = zone_path.read_text()
+            except FileNotFoundError:
+                # Data lands before its sidecar, so a sidecar-less
+                # file is either a writer mid-partition-write (young:
+                # leave it alone, exactly like an in-flight .tmp) or a
+                # crash leftover (old: quarantine it).
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except FileNotFoundError:
+                    continue
+                if age <= 60.0:
+                    seen.discard(path.name)
+                    continue
+                self.layout.quarantine(
+                    path, "partition without a zone-map sidecar"
+                )
+                self._quarantined += 1
+                continue
+            try:
+                partition = load_partition(key, path, zone_text)
+            except CodecError:
+                raise
+            except ArchiveError as exc:
+                self.layout.quarantine(path, str(exc))
+                self._quarantined += 1
+                continue
+            self._loaded[path.name] = partition
+            live.append(partition)
+            superseded.update(partition.zone.replaces)
+        # Evict cache entries for files no longer on disk (compaction
+        # deletes, quarantine moves): a long-lived reader must not pin
+        # deleted inodes through cached mmap views forever.
+        for name in [n for n in self._loaded if n not in seen]:
+            del self._loaded[name]
+        if superseded:
+            # A crash between compaction's write and its deletes can
+            # leave both the merged partition and its inputs on disk;
+            # the merged one's provenance list wins.
+            live = [p for p in live if p.path.name not in superseded]
+        live.sort(key=lambda p: p.key)
+        self._partitions = live
+        self._dir_stamp = stamp
+
+    def partitions(self) -> list[Partition]:
+        """The servable partitions, canonical scan order."""
+        return list(self._partitions)
+
+    def __len__(self) -> int:
+        return sum(p.rows for p in self._partitions)
+
+    def stats(self) -> ArchiveStats:
+        """Aggregate directory state (refreshes first).
+
+        ``quarantined`` counts the data files actually sitting in
+        ``quarantine/`` — the directory's state, not just what this
+        reader instance moved there — so a fresh ``repro archive
+        stats`` surfaces corruption an earlier process detected.
+        """
+        self.refresh()
+        parts = self._partitions
+        span = None
+        if parts:
+            span = (
+                min(p.zone.min_start for p in parts),
+                max(p.zone.max_start for p in parts),
+            )
+        quarantine = self.layout.quarantine_dir
+        quarantined = 0
+        if quarantine.is_dir():
+            quarantined = sum(
+                1
+                for entry in quarantine.iterdir()
+                if entry.is_file()
+                and not entry.name.endswith(".reason")
+                and not entry.name.endswith(".zone.json")
+            )
+        return ArchiveStats(
+            partitions=len(parts),
+            sealed=sum(1 for p in parts if p.zone.sealed),
+            rows=sum(p.rows for p in parts),
+            payload_bytes=sum(p.payload_bytes for p in parts),
+            slices=len({p.key.slice_index for p in parts}),
+            shards=len({p.key.shard for p in parts}),
+            quarantined=quarantined,
+            span=span,
+        )
+
+    # -- the pruned scan ---------------------------------------------------
+
+    def _window_tables(
+        self,
+        start: float,
+        end: float,
+        filter_node: FilterNode | None,
+        mask_of: Callable[[FlowTable], np.ndarray] | None,
+    ) -> list[FlowTable]:
+        """Per-partition row sets of the query, canonical order.
+
+        Time and filter masks apply here; the final ordering sort is
+        the caller's. Fully covered, unfiltered partitions pass
+        through as whole zero-copy views.
+        """
+        pruned_time = pruned_filter = scanned = 0
+        rows_scanned = rows_returned = 0
+        selected: list[FlowTable] = []
+        for partition in self._partitions:
+            zone = partition.zone
+            if self.use_zone_maps:
+                if not zone.overlaps_window(start, end):
+                    pruned_time += 1
+                    continue
+                if filter_node is not None and \
+                        not zone.may_match(filter_node):
+                    pruned_filter += 1
+                    continue
+            scanned += 1
+            table = partition.table()
+            rows_scanned += len(table)
+            if (
+                mask_of is None
+                and self.use_zone_maps
+                and zone.covered_by_window(start, end)
+            ):
+                selected.append(table)
+                rows_returned += len(table)
+                continue
+            starts = table.start
+            mask = (starts >= start) & (starts < end)
+            if mask_of is not None:
+                mask &= mask_of(table)
+            if mask.all():
+                selected.append(table)
+                rows_returned += len(table)
+            elif mask.any():
+                rows = table.select(mask)
+                selected.append(rows)
+                rows_returned += len(rows)
+        self.last_scan = ScanStats(
+            partitions=len(self._partitions),
+            pruned_time=pruned_time,
+            pruned_filter=pruned_filter,
+            scanned=scanned,
+            rows_scanned=rows_scanned,
+            rows_returned=rows_returned,
+        )
+        return selected
+
+    # -- FlowStore-compatible queries --------------------------------------
+
+    def query_table(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> FlowTable:
+        """Columnar window+filter query, ordered by ``(start, 5-tuple)``.
+
+        Same contract (and byte-identical results) as
+        :meth:`repro.flows.store.FlowStore.query_table`, with zone-map
+        pruning deciding which partition files are touched at all.
+        """
+        if end < start:
+            raise StoreError(f"inverted interval [{start}, {end})")
+        if self.auto_refresh:
+            self.refresh()
+        filter_node, mask_of = self._compile(flow_filter)
+        table = FlowTable.concat(
+            self._window_tables(start, end, filter_node, mask_of)
+        )
+        if len(table) > 1:
+            order = np.lexsort(
+                (
+                    table.proto,
+                    table.dst_port,
+                    table.src_port,
+                    table.dst_ip,
+                    table.src_ip,
+                    table.start,
+                )
+            )
+            table = table.select(order)
+        return table
+
+    def query(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> list[FlowRecord]:
+        """Record view of :meth:`query_table` (same rows, same order)."""
+        return self.query_table(start, end, flow_filter).to_records()
+
+    def count(
+        self,
+        start: float,
+        end: float,
+        flow_filter: str | FilterNode | None = None,
+    ) -> TraceStats:
+        """Aggregate counters over a query without materialising flows.
+
+        Unfiltered, fully covered partitions are answered from their
+        zone maps alone (row/packet/byte sums) — counting an archived
+        window costs zero payload reads.
+        """
+        if end < start:
+            return TraceStats(
+                flows=0, packets=0, bytes=0, start=start, end=start
+            )
+        if self.auto_refresh:
+            self.refresh()
+        filter_node, mask_of = self._compile(flow_filter)
+        flows = packets = byte_total = 0
+        lo, hi = np.inf, -np.inf
+        for partition in self._partitions:
+            zone = partition.zone
+            if self.use_zone_maps and (
+                not zone.overlaps_window(start, end)
+                or (
+                    filter_node is not None
+                    and not zone.may_match(filter_node)
+                )
+            ):
+                continue
+            if (
+                mask_of is None
+                and self.use_zone_maps
+                and zone.covered_by_window(start, end)
+            ):
+                flows += zone.rows
+                packets += zone.sum_packets
+                byte_total += zone.sum_bytes
+                lo = min(lo, zone.min_start)
+                hi = max(hi, zone.max_end)
+                continue
+            table = partition.table()
+            starts = table.start
+            mask = (starts >= start) & (starts < end)
+            if mask_of is not None:
+                mask &= mask_of(table)
+            if not mask.any():
+                continue
+            rows = table.select(mask)
+            flows += len(rows)
+            packets += rows.total_packets()
+            byte_total += rows.total_bytes()
+            lo = min(lo, float(rows.start.min()))
+            hi = max(hi, float(rows.end.max()))
+        if flows == 0:
+            return TraceStats(
+                flows=0, packets=0, bytes=0, start=start, end=start
+            )
+        return TraceStats(
+            flows=flows,
+            packets=packets,
+            bytes=byte_total,
+            start=float(lo),
+            end=float(hi),
+        )
+
+    def top_feature_values(
+        self,
+        start: float,
+        end: float,
+        feature: FlowFeature,
+        n: int = 10,
+        by_packets: bool = False,
+        flow_filter: str | FilterNode | None = None,
+    ) -> list[tuple[int, int]]:
+        """Vectorized top-``n`` feature values over a pruned scan.
+
+        Shares :func:`~repro.flows.aggregate.ranked_feature_values`
+        with ``FlowStore.top_feature_values`` so the two rankings are
+        identical by construction.
+        """
+        if n <= 0:
+            raise StoreError(f"n must be positive: {n!r}")
+        if end < start:
+            return []
+        from repro.flows.aggregate import ranked_feature_values
+
+        return ranked_feature_values(
+            self.query_table(start, end, flow_filter),
+            feature, n, by_packets=by_packets,
+        )
+
+    def to_trace(
+        self,
+        start: float | None = None,
+        end: float | None = None,
+        bin_seconds: float | None = None,
+    ) -> FlowTrace:
+        """Materialise (a window of) the archive as a trace."""
+        if self.auto_refresh:
+            self.refresh()
+        parts = self._partitions
+        if not parts:
+            return FlowTrace(
+                bin_seconds=bin_seconds or self.slice_seconds,
+                origin=self.origin,
+            )
+        lo = (
+            min(p.zone.min_start for p in parts) if start is None else start
+        )
+        hi = (
+            max(p.zone.max_start for p in parts) + 1.0
+            if end is None
+            else end
+        )
+        return FlowTrace(
+            self.query_table(lo, hi),
+            bin_seconds=bin_seconds or self.slice_seconds,
+            origin=self.origin,
+        )
+
+    # -- sharded access ----------------------------------------------------
+
+    def shard_tables(self, spec: "PartitionSpec") -> list[FlowTable]:
+        """Per-shard tables of the whole archive.
+
+        When every partition was written under exactly ``spec``
+        (shards, key and seed all match), per-shard files concatenate
+        **directly** — no hashing, no row movement; this is the fast
+        path :func:`repro.parallel.partition.read_archive_sharded`
+        documents. Any other layout falls back to hashing each
+        partition's rows with the stable shard function, which yields
+        the identical result (shard placement is a pure function of
+        the key column).
+        """
+        from repro.parallel.partition import partition_table
+
+        if self.auto_refresh:
+            self.refresh()
+        buckets: list[list[FlowTable]] = [[] for _ in range(spec.shards)]
+        direct = all(
+            p.zone.shard_spec is not None
+            and p.zone.shard_spec[:3] == (spec.shards, spec.key, spec.seed)
+            and p.zone.shard_spec[3] == p.key.shard
+            for p in self._partitions
+        )
+        for partition in self._partitions:
+            table = partition.table()
+            if direct:
+                buckets[partition.key.shard].append(table)
+            else:
+                for shard, rows in enumerate(
+                    partition_table(table, spec)
+                ):
+                    if len(rows):
+                        buckets[shard].append(rows)
+        return [FlowTable.concat(bucket) for bucket in buckets]
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _compile(
+        flow_filter: str | FilterNode | None,
+    ) -> tuple[
+        FilterNode | None, Callable[[FlowTable], np.ndarray] | None
+    ]:
+        if flow_filter is None:
+            return None, None
+        node = (
+            flow_filter
+            if isinstance(flow_filter, FilterNode)
+            else parse_filter(flow_filter)
+        )
+        return node, compile_mask(node)
+
+    def memory_mapped_bytes(self) -> int:
+        """Total payload bytes currently served via mmap views."""
+        return sum(
+            p.rows * FLOW_DTYPE.itemsize
+            for p in self._partitions
+            if p._table is not None
+        )
+
+    def iter_tables(self) -> Iterable[FlowTable]:
+        """Every partition's rows as zero-copy views, scan order."""
+        for partition in self._partitions:
+            yield partition.table()

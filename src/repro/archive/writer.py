@@ -1,0 +1,294 @@
+"""Appending partitions to an archive.
+
+:class:`ArchiveWriter` is the single write path of the archive. It
+owns the directory's geometry (rotation width + origin, persisted in
+the manifest on first fix), allocates per-``(slice, shard)`` sequence
+numbers (restart-safe: initialised from the files already on disk)
+and emits partitions crash-safely — payload to a temporary name,
+fsync, atomic rename, then the zone-map sidecar the same way. A
+partition is servable exactly when both files exist under their final
+names; any interruption leaves either nothing or a quarantinable
+leftover, never a half-readable partition.
+
+Two write paths:
+
+* :meth:`write_partition` — one table, one known slice, one file.
+  Used by the streaming ring (a sealed window is exactly one slice)
+  and by compaction.
+* :meth:`ingest_table` / :meth:`ingest_chunks` — arbitrary tables,
+  partitioned by start time with one vectorized floor-divide (and
+  optionally by shard hash), buffered per ``(slice, shard)`` and
+  spilled whenever a buffer reaches ``spill_rows`` — so an unbounded
+  chunk stream ingests with bounded memory. :meth:`flush` (or
+  :meth:`close`, or the context manager exit) spills the remainder.
+
+Writing shard-aware (``shard_spec``) splits every slice's rows with
+the same stable hash the parallel subsystem uses
+(:func:`repro.parallel.partition.shard_ids`), records the spec in
+each sidecar, and thereby lets sharded scans later pick up per-shard
+files directly instead of re-hashing rows.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.archive.index import ZoneMap
+from repro.archive.layout import (
+    ArchiveLayout,
+    PartitionKey,
+    pack_partition_header,
+)
+from repro.errors import ArchiveError
+from repro.flows.table import FlowTable
+from repro.flows.trace import DEFAULT_BIN_SECONDS
+
+if TYPE_CHECKING:
+    from repro.parallel.partition import PartitionSpec
+
+__all__ = ["DEFAULT_SPILL_ROWS", "ArchiveWriter"]
+
+#: Buffered rows per (slice, shard) before an automatic spill.
+DEFAULT_SPILL_ROWS = 65_536
+
+
+class ArchiveWriter:
+    """Writes time-partitioned (optionally shard-aware) flow files."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        slice_seconds: float | None = None,
+        origin: float | None = None,
+        shard_spec: "PartitionSpec | None" = None,
+        spill_rows: int = DEFAULT_SPILL_ROWS,
+    ) -> None:
+        """``slice_seconds=None`` (the default) adopts an existing
+        archive's rotation width, or :data:`DEFAULT_BIN_SECONDS` for a
+        fresh directory; an *explicit* width must match the manifest
+        exactly — reopening an archive under a different grid is an
+        error, never a silent regrid."""
+        if slice_seconds is not None and slice_seconds <= 0:
+            raise ArchiveError(
+                f"slice_seconds must be positive: {slice_seconds!r}"
+            )
+        if spill_rows < 1:
+            raise ArchiveError(
+                f"spill_rows must be >= 1: {spill_rows!r}"
+            )
+        self.layout = ArchiveLayout(root)
+        self.layout.ensure_root()
+        self.shard_spec = shard_spec
+        self.spill_rows = spill_rows
+        existing = self.layout.read_manifest()
+        if existing is not None:
+            manifest_width, manifest_origin = existing
+            if slice_seconds is not None and \
+                    slice_seconds != manifest_width:
+                raise ArchiveError(
+                    f"archive {root} rotates every {manifest_width}s; "
+                    f"cannot reopen it with slice_seconds={slice_seconds}"
+                )
+            slice_seconds = manifest_width
+            if origin is not None and origin != manifest_origin:
+                raise ArchiveError(
+                    f"archive {root} has origin {manifest_origin}; "
+                    f"cannot reopen it with origin={origin}"
+                )
+            origin = manifest_origin
+        elif slice_seconds is None:
+            slice_seconds = DEFAULT_BIN_SECONDS
+        self.slice_seconds = float(slice_seconds)
+        self._origin = origin
+        if origin is not None:
+            self.layout.write_manifest(self.slice_seconds, origin)
+        self._seq: dict[tuple[int, int], int] = {}
+        for key, _path in self.layout.partition_files():
+            bucket = (key.slice_index, key.shard)
+            self._seq[bucket] = max(
+                self._seq.get(bucket, -1), key.seq
+            )
+        self._buffers: dict[tuple[int, int], list[FlowTable]] = {}
+        self._buffered_rows: dict[tuple[int, int], int] = {}
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def origin(self) -> float | None:
+        """Left edge of slice 0; ``None`` until the first row fixes it."""
+        return self._origin
+
+    def set_origin(self, origin: float) -> None:
+        """Pin slice 0's left edge (idempotent for the same value)."""
+        if self._origin is not None:
+            if self._origin != origin:
+                raise ArchiveError(
+                    f"archive origin already fixed at {self._origin}; "
+                    f"cannot move it to {origin}"
+                )
+            return
+        self._origin = float(origin)
+        self.layout.write_manifest(self.slice_seconds, self._origin)
+
+    def _fix_origin(self, first_start: float) -> None:
+        if self._origin is None:
+            self.set_origin(
+                math.floor(first_start / self.slice_seconds)
+                * self.slice_seconds
+            )
+
+    def slice_interval(self, index: int) -> tuple[float, float]:
+        """``[start, end)`` of slice ``index``."""
+        if self._origin is None:
+            raise ArchiveError("archive origin not fixed yet")
+        start = self._origin + index * self.slice_seconds
+        return (start, start + self.slice_seconds)
+
+    # -- the low-level write -----------------------------------------------
+
+    def write_partition(
+        self,
+        table: FlowTable,
+        slice_index: int,
+        shard: int = 0,
+        sealed: bool = False,
+        sorted_rows: bool = False,
+        replaces: tuple[str, ...] = (),
+    ) -> Path | None:
+        """Write one table as one partition file of ``slice_index``.
+
+        The caller asserts every row starts inside the slice (the
+        rotation invariant readers prune by); a violating row raises.
+        Empty tables write nothing and return ``None``.
+        """
+        if not len(table):
+            return None
+        self._fix_origin(float(table.start.min()))
+        # Validate with the *routing* expression (the same floor-divide
+        # every ingest path uses), not recomputed interval bounds: the
+        # two grids disagree by one ulp near boundaries for fractional
+        # widths, and a row must archive under exactly the slice it
+        # routes to.
+        indices = np.floor(
+            (table.start - self._origin) / self.slice_seconds
+        ).astype(np.int64)
+        if int(indices.min()) != slice_index \
+                or int(indices.max()) != slice_index:
+            lo, hi = self.slice_interval(slice_index)
+            raise ArchiveError(
+                f"rows outside slice {slice_index} [{lo}, {hi}): "
+                f"starts route to slices "
+                f"[{int(indices.min())}, {int(indices.max())}]"
+            )
+        bucket = (slice_index, shard)
+        seq = self._seq.get(bucket, -1) + 1
+        self._seq[bucket] = seq
+        key = PartitionKey(slice_index=slice_index, shard=shard, seq=seq)
+        shard_spec = None
+        if self.shard_spec is not None:
+            spec = self.shard_spec
+            shard_spec = (spec.shards, spec.key, spec.seed, shard)
+        zone = ZoneMap.from_table(
+            table,
+            sealed=sealed,
+            sorted_rows=sorted_rows,
+            shard_spec=shard_spec,
+            replaces=replaces,
+        )
+        data = np.ascontiguousarray(table._data)
+        path = self.layout.partition_path(key)
+        # Data first, sidecar second: a crash between the two leaves a
+        # data file without a sidecar, which readers quarantine — never
+        # a servable partition with unchecked bytes. Exclusive create:
+        # a name collision (two writers racing one directory) is a
+        # loud error, never a silent overwrite.
+        self.layout.atomic_write(
+            path,
+            pack_partition_header(len(table)) + data.tobytes(),
+            exclusive=True,
+        )
+        self.layout.atomic_write(
+            self.layout.zone_path(path), zone.to_json().encode()
+        )
+        return path
+
+    # -- buffered ingest ----------------------------------------------------
+
+    def _route(self, table: FlowTable) -> None:
+        """Partition one table into the (slice, shard) buffers."""
+        indices = np.floor(
+            (table.start - self._origin) / self.slice_seconds
+        ).astype(np.int64)
+        if self.shard_spec is not None and self.shard_spec.shards > 1:
+            from repro.parallel.partition import shard_ids
+
+            shards = shard_ids(table, self.shard_spec)
+        else:
+            shards = np.zeros(len(table), dtype=np.int64)
+        for slice_index in np.unique(indices):
+            slice_mask = indices == slice_index
+            for shard in np.unique(shards[slice_mask]):
+                rows = table.select(slice_mask & (shards == shard))
+                bucket = (int(slice_index), int(shard))
+                self._buffers.setdefault(bucket, []).append(rows)
+                self._buffered_rows[bucket] = (
+                    self._buffered_rows.get(bucket, 0) + len(rows)
+                )
+
+    def ingest_table(self, table: FlowTable) -> int:
+        """Buffer one table's rows by (slice, shard); spill full buffers.
+
+        Returns the number of rows ingested. Rows become *servable*
+        when their buffer spills — call :meth:`flush` to make
+        everything durable.
+        """
+        if not len(table):
+            return 0
+        self._fix_origin(float(table.start.min()))
+        self._route(table)
+        for bucket in [
+            b
+            for b, rows in self._buffered_rows.items()
+            if rows >= self.spill_rows
+        ]:
+            self._spill(bucket)
+        return len(table)
+
+    def ingest_chunks(self, chunks: Iterable[FlowTable]) -> int:
+        """Drain a chunk source through :meth:`ingest_table`."""
+        total = 0
+        for chunk in chunks:
+            total += self.ingest_table(chunk)
+        return total
+
+    def _spill(self, bucket: tuple[int, int]) -> None:
+        parts = self._buffers.pop(bucket, [])
+        self._buffered_rows.pop(bucket, None)
+        if not parts:
+            return
+        self.write_partition(
+            FlowTable.concat(parts),
+            slice_index=bucket[0],
+            shard=bucket[1],
+        )
+
+    def flush(self) -> int:
+        """Spill every buffered row; returns how many were written."""
+        pending = sum(self._buffered_rows.values())
+        for bucket in sorted(self._buffers):
+            self._spill(bucket)
+        return pending
+
+    def close(self) -> None:
+        """Flush and retire the writer (idempotent)."""
+        self.flush()
+
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

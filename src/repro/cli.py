@@ -1,6 +1,6 @@
 """Command-line interface to the anomaly-extraction system.
 
-Five subcommands mirror the deployment workflow::
+Six subcommands mirror the deployment workflow::
 
     python -m repro.cli synth   --out trace.rpv5 --bins 6 --seed 7 \\
         --anomaly port-scan --anomaly udp-flood
@@ -9,7 +9,11 @@ Five subcommands mirror the deployment workflow::
     python -m repro.cli extract trace.rpv5 --start 1200 --end 1500 \\
         --hint dstIP=10.9.0.4 --hint srcPort=55548
     python -m repro.cli stream  trace.rpv5 --train-bins 8 --speedup 60 \\
-        --triage
+        --triage --archive spool/ --alarmdb alarms.db
+    python -m repro.cli archive ingest trace.rpv5 --dir spool/
+    python -m repro.cli archive query --dir spool/ \\
+        --start 1200 --end 1500 --filter 'dst port 445'
+    python -m repro.cli archive triage --dir spool/ --alarmdb alarms.db
 
 ``synth`` writes a labelled trace through the NetFlow v5 binary codec
 (the format the other commands read back); ``detect`` trains the
@@ -18,7 +22,14 @@ the rest; ``extract`` runs the full extraction pipeline for a window,
 with optional meta-data hints, and prints the Table-1 view; ``stream``
 replays the trace tail through the online engine — incremental
 detection, alarm DB inserts and (with ``--triage``) live extraction
-reports as windows close.
+reports as windows close; with ``--archive`` closed windows also
+persist to an on-disk partition directory and with ``--alarmdb`` the
+alarm store survives the process. ``archive`` manages that directory:
+``ingest`` bulk-loads a trace, ``ls``/``stats`` inspect partitions and
+zone maps, ``query`` answers pruned window+filter queries straight off
+the mmap'd files, ``compact`` merges rotation spills into sealed
+partitions, and ``triage`` resumes alarm triage against the archive
+after a restart — the durable loop of the paper's deployment.
 
 ``detect``, ``extract`` and ``stream`` all take ``--workers N`` to fan
 their heavy passes out over the sharded execution subsystem
@@ -42,6 +53,7 @@ from repro.flows.flowio import read_binary_table, write_binary
 from repro.flows.record import FlowFeature
 from repro.flows.store import FlowStore
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace
+from repro.system.alarmdb import AlarmDatabase
 from repro.system.console import render_table, verdict_view
 
 __all__ = ["main", "build_parser"]
@@ -148,6 +160,74 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--workers", type=_workers_arg, default=1,
                         help="shards/workers for window accumulation "
                              "and triage mining")
+    stream.add_argument("--archive", default=None, metavar="DIR",
+                        help="persist closed windows into this on-disk "
+                             "archive directory")
+    stream.add_argument("--alarmdb", default=None, metavar="PATH",
+                        help="sqlite alarm DB file (default: in-memory; "
+                             "a file survives the process for later "
+                             "'archive triage')")
+
+    archive = sub.add_parser(
+        "archive", help="manage a persistent on-disk flow archive"
+    )
+    asub = archive.add_subparsers(dest="archive_command", required=True)
+
+    a_ingest = asub.add_parser(
+        "ingest", help="bulk-load a trace into the archive"
+    )
+    a_ingest.add_argument("trace", help=".rpv5 trace path")
+    a_ingest.add_argument("--dir", required=True, help="archive directory")
+    a_ingest.add_argument("--window", type=float, default=None,
+                          help="rotation width in seconds (default: "
+                               "300 for a new archive; an existing "
+                               "archive keeps its width)")
+    a_ingest.add_argument("--shards", type=_workers_arg, default=1,
+                          help="write shard-aware partition files for "
+                               "this many shards")
+    a_ingest.add_argument("--key", default="src_ip",
+                          help="shard partition key column")
+    a_ingest.add_argument("--seed", type=int, default=0,
+                          help="shard placement seed")
+    a_ingest.add_argument("--spill-rows", type=int, default=None,
+                          help="buffered rows per partition before a "
+                               "spill (default: 65536)")
+
+    a_ls = asub.add_parser("ls", help="list the archive's partitions")
+    a_ls.add_argument("--dir", required=True, help="archive directory")
+
+    a_query = asub.add_parser(
+        "query", help="pruned nfdump-style query over the archive"
+    )
+    a_query.add_argument("--dir", required=True, help="archive directory")
+    a_query.add_argument("--filter", default=None,
+                         help="filter expression, e.g. 'dst port 445'")
+    a_query.add_argument("--start", type=float, default=None)
+    a_query.add_argument("--end", type=float, default=None)
+    a_query.add_argument("--top", default=None,
+                         help="top-N values of a feature "
+                              "(srcIP/dstIP/srcPort/dstPort/proto)")
+    a_query.add_argument("-n", type=int, default=10)
+
+    a_compact = asub.add_parser(
+        "compact", help="merge rotation spills into sealed partitions"
+    )
+    a_compact.add_argument("--dir", required=True, help="archive directory")
+
+    a_stats = asub.add_parser("stats", help="archive-wide statistics")
+    a_stats.add_argument("--dir", required=True, help="archive directory")
+
+    a_triage = asub.add_parser(
+        "triage",
+        help="triage open alarms in an alarm DB against the archive "
+             "(the restart-recovery path)",
+    )
+    a_triage.add_argument("--dir", required=True, help="archive directory")
+    a_triage.add_argument("--alarmdb", required=True,
+                          help="sqlite alarm DB file")
+    a_triage.add_argument("--workers", type=_workers_arg, default=1,
+                          help="shards/workers for the mining step")
+    a_triage.add_argument("--anonymize", action="store_true")
     return parser
 
 
@@ -348,6 +428,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             print(f"  triage {triaged.alarm.alarm_id} -> {status}: "
                   f"{verdict}")
 
+    archive_writer = None
+    if args.archive:
+        from repro.archive import ArchiveWriter
+
+        archive_writer = ArchiveWriter(
+            args.archive, slice_seconds=window_seconds, origin=split
+        )
     engine_options = dict(
         window_seconds=window_seconds,
         origin=split,
@@ -356,6 +443,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         dedup_window=args.dedup_window,
         triage=args.triage,
         on_window=on_window,
+        alarmdb=AlarmDatabase(args.alarmdb) if args.alarmdb else None,
+        archive=archive_writer,
     )
     if args.workers > 1:
         engine = ShardedStreamEngine(
@@ -409,7 +498,153 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"{stats.alarms_merged} merged, {stats.triaged} triaged, "
         f"{stats.late_dropped} late-dropped"
     )
+    if archive_writer is not None:
+        from repro.archive import ArchiveReader
+
+        archived = ArchiveReader(args.archive).stats()
+        print(
+            f"archived {archived.rows} flows in {archived.partitions} "
+            f"partitions ({archived.payload_bytes:,} bytes) to "
+            f"{args.archive}"
+        )
     return 130 if interrupted else 0
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from repro.archive import (
+        ArchiveReader,
+        ArchiveWriter,
+        compact_archive,
+    )
+
+    if args.archive_command == "ingest":
+        from repro.flows.flowio import iter_binary_tables
+        from repro.parallel.partition import PartitionSpec
+
+        spec = None
+        if args.shards > 1:
+            spec = PartitionSpec(
+                shards=args.shards, key=args.key, seed=args.seed
+            )
+        writer_options = dict(
+            slice_seconds=args.window, shard_spec=spec
+        )
+        if args.spill_rows is not None:
+            writer_options["spill_rows"] = args.spill_rows
+        with ArchiveWriter(args.dir, **writer_options) as writer:
+            rows = writer.ingest_chunks(iter_binary_tables(args.trace))
+        stats = ArchiveReader(args.dir).stats()
+        sharded = f", {stats.shards} shards" if stats.shards > 1 else ""
+        print(
+            f"ingested {rows} flows into {stats.partitions} partitions "
+            f"({stats.slices} slices{sharded}) under {args.dir}"
+        )
+        return 0
+
+    reader = ArchiveReader(args.dir)
+
+    if args.archive_command == "ls":
+        rows = [("partition", "slice", "shard", "flows", "window",
+                 "sealed")]
+        for part in reader.partitions():
+            zone = part.zone
+            rows.append((
+                part.path.name,
+                str(part.key.slice_index),
+                str(part.key.shard),
+                str(zone.rows),
+                f"[{zone.min_start:.0f}, {zone.max_start:.0f}]",
+                "yes" if zone.sealed else "no",
+            ))
+        print(render_table(rows))
+        print(f"{len(reader.partitions())} partitions")
+        return 0
+
+    if args.archive_command == "query":
+        stats = reader.stats()
+        if stats.span is None:
+            print("0 flows match")
+            return 0
+        start = args.start if args.start is not None else stats.span[0]
+        end = args.end if args.end is not None else stats.span[1] + 1.0
+        flows = reader.query_table(start, end, args.filter)
+        scan = reader.last_scan
+        print(
+            f"{len(flows)} flows match "
+            f"(scanned {scan.scanned}/{scan.partitions} partitions, "
+            f"pruned {scan.pruned_time} by time, "
+            f"{scan.pruned_filter} by zone map)"
+        )
+        if args.top:
+            from repro.flows.aggregate import top_n
+            from repro.flows.record import format_feature_value
+
+            feature = FlowFeature(args.top)
+            rows = [("value", "flows")]
+            for value, count in top_n(flows, feature, n=args.n):
+                rows.append(
+                    (format_feature_value(feature, value), str(count))
+                )
+            print(render_table(rows))
+        else:
+            from repro.system.console import flow_drilldown_view
+
+            print(flow_drilldown_view(flows.to_records(), limit=args.n))
+        return 0
+
+    if args.archive_command == "compact":
+        result = compact_archive(args.dir, reader=reader)
+        print(
+            f"compacted {result.groups} groups: "
+            f"{result.partitions_before} -> {result.partitions_after} "
+            f"partitions, {result.rows_compacted} rows rewritten"
+        )
+        return 0
+
+    if args.archive_command == "stats":
+        stats = reader.stats()
+        span = (
+            f"[{stats.span[0]:.0f}, {stats.span[1]:.0f}]"
+            if stats.span
+            else "-"
+        )
+        rows = [
+            ("partitions", str(stats.partitions)),
+            ("sealed", str(stats.sealed)),
+            ("slices", str(stats.slices)),
+            ("shards", str(stats.shards)),
+            ("flows", str(stats.rows)),
+            ("payload bytes", f"{stats.payload_bytes:,}"),
+            ("start span", span),
+            ("quarantined", str(stats.quarantined)),
+            ("rotation", f"{reader.slice_seconds:.0f}s"),
+        ]
+        print(render_table([("metric", "value")] + rows))
+        return 0
+
+    # triage: resume the durable loop against the on-disk archive.
+    from repro.system.pipeline import ExtractionSystem
+
+    alarmdb = AlarmDatabase(args.alarmdb)
+    system = ExtractionSystem.from_archive(
+        reader, alarmdb=alarmdb, workers=args.workers
+    )
+    open_before = alarmdb.count("open")
+    try:
+        results = system.process_open_alarms(skip_errors=True)
+    finally:
+        system.close()
+    for triaged in results:
+        status, verdict = alarmdb.status_of(triaged.alarm.alarm_id)
+        print(f"{triaged.alarm.alarm_id} -> {status}: {verdict}")
+        print(render_table(
+            table_rows(triaged.report, anonymize=args.anonymize)
+        ))
+    print(
+        f"triaged {len(results)}/{open_before} open alarms against "
+        f"{args.dir}; {alarmdb.count('open')} remain open"
+    )
+    return 0
 
 
 _COMMANDS = {
@@ -418,6 +653,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "extract": _cmd_extract,
     "stream": _cmd_stream,
+    "archive": _cmd_archive,
 }
 
 

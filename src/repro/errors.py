@@ -15,6 +15,7 @@ __all__ = [
     "FilterError",
     "FilterSyntaxError",
     "StoreError",
+    "ArchiveError",
     "SamplingError",
     "SynthesisError",
     "DetectorError",
@@ -63,6 +64,10 @@ class FilterSyntaxError(FilterError):
 
 class StoreError(ReproError):
     """Invalid operation on the flow store (bad interval, missing bin...)."""
+
+
+class ArchiveError(StoreError):
+    """Invalid operation on, or corruption of, the on-disk flow archive."""
 
 
 class SamplingError(ReproError):

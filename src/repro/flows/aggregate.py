@@ -36,6 +36,7 @@ __all__ = [
     "feature_histogram",
     "all_feature_histograms",
     "top_n",
+    "ranked_feature_values",
     "TrafficMatrixCell",
     "traffic_matrix",
     "distinct_counts",
@@ -152,6 +153,32 @@ def top_n(
         raise FlowError(f"n must be positive: {n!r}")
     histogram = feature_histogram(flows, feature, weight)
     return sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+def ranked_feature_values(
+    table: FlowTable,
+    feature: FlowFeature,
+    n: int,
+    by_packets: bool = False,
+) -> list[tuple[int, int]]:
+    """Top-``n`` feature values with the *store* ranking semantics.
+
+    This is the shared body of ``FlowStore.top_feature_values`` and
+    ``ArchiveReader.top_feature_values`` — one implementation so the
+    two stay byte-identical by construction. It differs from
+    :func:`top_n` in its tie-break: equal weights order by the string
+    rendering of the value (matching the record-path ``top_talkers``),
+    not the numeric value.
+    """
+    if not len(table):
+        return []
+    histogram = feature_histogram(
+        table, feature, "packets" if by_packets else "flows"
+    )
+    ranked = sorted(
+        histogram.items(), key=lambda kv: (-kv[1], str(kv[0]))
+    )
+    return [(int(v), int(c)) for v, c in ranked[:n]]
 
 
 @dataclass(frozen=True, slots=True)

@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import CodecError, FlowError
 from repro.flows.netflow_v5 import decode_packet, encode_stream
 from repro.flows.record import FlowRecord
-from repro.flows.table import FLOW_DTYPE, FlowTable
+from repro.flows.table import FLOW_DTYPE, FLOW_SCHEMA_VERSION, FlowTable
 from repro.flows.addresses import int_to_ip, ip_to_int
 
 __all__ = [
@@ -71,7 +71,8 @@ _FILE_HEADER = struct.Struct("!4sdI")  # magic, boot_time, packet_count
 _PACKET_LEN = struct.Struct("!I")
 
 _TABLE_MAGIC = b"RPTB"
-_TABLE_HEADER = struct.Struct("!4sQ")  # magic, row count
+# magic, schema version, reserved, row count
+_TABLE_HEADER = struct.Struct("!4sHHQ")
 
 
 def table_to_bytes(table: FlowTable) -> bytes:
@@ -80,19 +81,29 @@ def table_to_bytes(table: FlowTable) -> bytes:
     The frame is the raw little-endian :data:`~repro.flows.table.FLOW_DTYPE`
     buffer behind a tiny header — the transport the sharded executor
     uses to ship tables to worker processes without materialising (or
-    pickling) a single :class:`FlowRecord`.
+    pickling) a single :class:`FlowRecord`. The header carries
+    :data:`~repro.flows.table.FLOW_SCHEMA_VERSION` so a frame crossing
+    process (or build) boundaries fails loudly on a layout mismatch.
     """
     data = np.ascontiguousarray(table._data)
-    return _TABLE_HEADER.pack(_TABLE_MAGIC, len(table)) + data.tobytes()
+    header = _TABLE_HEADER.pack(
+        _TABLE_MAGIC, FLOW_SCHEMA_VERSION, 0, len(table)
+    )
+    return header + data.tobytes()
 
 
 def table_from_bytes(payload: bytes) -> FlowTable:
     """Decode a frame written by :func:`table_to_bytes`."""
     if len(payload) < _TABLE_HEADER.size:
         raise CodecError("truncated flow-table frame header")
-    magic, rows = _TABLE_HEADER.unpack_from(payload)
+    magic, version, _reserved, rows = _TABLE_HEADER.unpack_from(payload)
     if magic != _TABLE_MAGIC:
         raise CodecError(f"bad flow-table magic {magic!r}")
+    if version != FLOW_SCHEMA_VERSION:
+        raise CodecError(
+            f"flow-table frame carries schema version {version}; "
+            f"this build reads version {FLOW_SCHEMA_VERSION}"
+        )
     body = payload[_TABLE_HEADER.size:]
     expected = rows * FLOW_DTYPE.itemsize
     if len(body) != expected:

@@ -94,6 +94,8 @@ class FlowStore:
         self._origin = origin
         self._slices: dict[int, _Slice] = {}
         self._total_flows = 0
+        #: Per-slice count of rows already handed to :meth:`spill_to`.
+        self._spilled_rows: dict[int, int] = {}
 
     # -- insertion -------------------------------------------------------
 
@@ -386,18 +388,12 @@ class FlowStore:
             raise StoreError(f"n must be positive: {n!r}")
         if end < start:
             return []
-        from repro.flows.aggregate import feature_histogram
+        from repro.flows.aggregate import ranked_feature_values
 
-        table = self.query_table(start, end, flow_filter)
-        if not len(table):
-            return []
-        histogram = feature_histogram(
-            table, feature, "packets" if by_packets else "flows"
+        return ranked_feature_values(
+            self.query_table(start, end, flow_filter),
+            feature, n, by_packets=by_packets,
         )
-        ranked = sorted(
-            histogram.items(), key=lambda kv: (-kv[1], str(kv[0]))
-        )
-        return [(int(v), int(c)) for v, c in ranked[:n]]
 
     def to_trace(
         self,
@@ -420,6 +416,56 @@ class FlowStore:
             origin=self.origin,
         )
 
+    # -- persistence -------------------------------------------------------
+
+    def spill_to(
+        self,
+        archive,
+        before: float | None = None,
+        expire: bool = False,
+    ) -> int:
+        """Persist whole slices into an on-disk archive.
+
+        ``archive`` is an :class:`~repro.archive.writer.ArchiveWriter`
+        (any object with ``ingest_table``/``flush``). With ``before``,
+        only slices ending at or before that timestamp spill — the
+        shape of a rotation policy: old slices go to disk, the live
+        edge stays in RAM. With ``expire``, spilled slices are dropped
+        from memory afterwards (the archive becomes their only copy).
+        Returns the number of rows spilled.
+
+        The store remembers, per slice, how many rows it has already
+        handed over: repeated calls — the shape of a periodic
+        ``spill_to(archive, before=watermark)`` rotation — never
+        re-archive a row, and late rows arriving for an
+        already-spilled slice are picked up by the next call (slice
+        rows accumulate in insertion order, so "the first *n* rows
+        are archived" stays true across appends). ``expire`` therefore
+        only ever drops rows the archive holds. Slices spill in time
+        order, rows in insertion order, so archive queries stay
+        byte-identical to in-memory ones.
+        """
+        spilled = 0
+        spilled_through: float | None = None
+        for index in sorted(self._slices):
+            end = self.slice_interval(index)[1]
+            if before is not None and end > before:
+                continue
+            done = self._spilled_rows.get(index, 0)
+            table = self._slices[index].table()
+            if len(table) > done:
+                archive.ingest_table(table.select(slice(done, None)))
+                spilled += len(table) - done
+                self._spilled_rows[index] = len(table)
+            spilled_through = (
+                end if spilled_through is None
+                else max(spilled_through, end)
+            )
+        archive.flush()
+        if expire and spilled_through is not None:
+            self.expire_before(spilled_through)
+        return spilled
+
     # -- retention ---------------------------------------------------------
 
     def expire_before(self, timestamp: float) -> int:
@@ -432,5 +478,10 @@ class FlowStore:
         for index in list(self._slices):
             if self.slice_interval(index)[1] <= timestamp:
                 removed += len(self._slices.pop(index))
+                # If the slice ever reappears (late rows), it holds
+                # only *new* rows — the spill bookkeeping must restart
+                # from zero or those rows would never reach the
+                # archive.
+                self._spilled_rows.pop(index, None)
         self._total_flows -= removed
         return removed

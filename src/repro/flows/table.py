@@ -32,7 +32,14 @@ import numpy as np
 from repro.errors import FlowError
 from repro.flows.record import FlowFeature, FlowRecord
 
-__all__ = ["FLOW_DTYPE", "FlowTable"]
+__all__ = ["FLOW_DTYPE", "FLOW_SCHEMA_VERSION", "FlowTable"]
+
+#: Version of the on-disk/on-wire ``FLOW_DTYPE`` layout. Bump whenever
+#: a column is added, removed, resized or reordered; every serialized
+#: table frame (:func:`~repro.flows.flowio.table_to_bytes`) and archive
+#: partition header carries it so stale bytes fail with a clear
+#: :class:`~repro.errors.CodecError` instead of silently misparsing.
+FLOW_SCHEMA_VERSION = 1
 
 #: Column layout of a flow table; mirrors :class:`FlowRecord` fields.
 FLOW_DTYPE = np.dtype(

@@ -10,8 +10,9 @@ backend, with byte-identical results.
 ``partition``
     Stable, seedable hash partitioning of any
     :class:`~repro.flows.table.FlowTable` by a configurable key
-    (default ``src_ip``), plus shard-aware CSV/binary readers that fan
-    chunked ingest straight into per-shard tables.
+    (default ``src_ip``), plus shard-aware CSV/binary/archive readers
+    that fan chunked ingest straight into per-shard tables (a
+    shard-aware archive serves each shard's partition files directly).
 ``executor``
     :class:`ShardExecutor` — per-shard tasks on a lazily created
     process pool (tables travel as compact binary frames, never as
@@ -49,6 +50,7 @@ from repro.parallel.partition import (
     PartitionSpec,
     partition_chunks,
     partition_table,
+    read_archive_sharded,
     read_binary_sharded,
     read_csv_sharded,
     shard_ids,
@@ -64,6 +66,7 @@ __all__ = [
     "partition_chunks",
     "read_csv_sharded",
     "read_binary_sharded",
+    "read_archive_sharded",
     "ShardExecutor",
     "scaled_threshold",
     "mine_table",

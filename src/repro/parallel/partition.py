@@ -43,6 +43,7 @@ __all__ = [
     "partition_chunks",
     "read_csv_sharded",
     "read_binary_sharded",
+    "read_archive_sharded",
 ]
 
 #: Columns a table may be partitioned on (any discrete flow feature).
@@ -160,3 +161,28 @@ def read_binary_sharded(
 ) -> list[FlowTable]:
     """Read a ``.rpv5`` trace straight into per-shard tables."""
     return _gather_shards(iter_binary_tables(path, chunk_rows), spec)
+
+
+def read_archive_sharded(
+    root_or_reader, spec: PartitionSpec
+) -> list[FlowTable]:
+    """Read an on-disk flow archive straight into per-shard tables.
+
+    When the archive was *written* shard-aware under the same spec
+    (``repro archive ingest --shards N`` records shards, key and seed
+    in every zone map), each shard's tables come directly from that
+    shard's partition files — zero-copy mmap views concatenated, no
+    hashing, no row movement. Any other archive falls back to hashing
+    each partition's rows, which lands every flow on the same shard it
+    would have landed on at write time (the placement hash is a pure
+    function of the key column), so downstream per-shard pipelines
+    cannot tell the difference.
+    """
+    from repro.archive.reader import ArchiveReader
+
+    reader = (
+        root_or_reader
+        if isinstance(root_or_reader, ArchiveReader)
+        else ArchiveReader(root_or_reader)
+    )
+    return reader.shard_tables(spec)

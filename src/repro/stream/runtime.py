@@ -78,13 +78,21 @@ class StreamEngine:
         on_window: Callable[[WindowResult], None] | None = None,
         workers: int = 1,
         executor: "ShardExecutor | None" = None,
+        archive=None,
     ) -> None:
+        """``archive`` (an :class:`~repro.archive.writer.ArchiveWriter`)
+        makes the deployment durable: every closed window persists as a
+        sealed on-disk partition, so alarms stored in a file-backed
+        ``alarmdb`` can be triaged by a *later process* against the
+        archive (``ExtractionSystem.from_archive``) even after this
+        engine — and its in-RAM ring — is gone."""
         self.detectors = list(detectors)
         self.ring = WindowRing(
             window_seconds=window_seconds,
             origin=origin,
             lateness_seconds=lateness_seconds,
             retain_windows=retain_windows,
+            archive=archive,
         )
         self.alarmdb = alarmdb or AlarmDatabase()
         self.dedup_window = dedup_window

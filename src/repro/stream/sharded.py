@@ -83,6 +83,7 @@ class ShardedStreamEngine(StreamEngine):
         triage: bool = False,
         config: SystemConfig | None = None,
         on_window=None,
+        archive=None,
     ) -> None:
         if executor is not None:
             # A caller handing us a pool means that much fan-out: an
@@ -108,6 +109,7 @@ class ShardedStreamEngine(StreamEngine):
             on_window=on_window,
             workers=workers,
             executor=executor,
+            archive=archive,
         )
         if flush_rows < 1:
             raise StoreError(

@@ -25,6 +25,12 @@ The contract, which the test suite pins down:
 * **Retention**: only the most recent ``retain_windows`` windows stay
   in the backing store (the triage archive); older slices expire like
   NfDump's disk budget.
+* **Persistence**: with an ``archive``
+  (:class:`~repro.archive.writer.ArchiveWriter`), every closed
+  non-empty window is written to disk as one sealed, sorted partition
+  *before* retention can evict it — the ring's eviction becomes
+  tiering instead of loss, and a restarted process can triage
+  against the archived windows.
 """
 
 from __future__ import annotations
@@ -74,6 +80,7 @@ class WindowRing:
         origin: float | None = None,
         lateness_seconds: float | None = 0.0,
         retain_windows: int = 16,
+        archive=None,
     ) -> None:
         if window_seconds <= 0:
             raise StoreError(
@@ -90,10 +97,26 @@ class WindowRing:
         self.window_seconds = float(window_seconds)
         self.lateness_seconds = lateness_seconds
         self.retain_windows = retain_windows
+        #: Optional :class:`~repro.archive.writer.ArchiveWriter`;
+        #: closed windows persist through it. Its rotation width must
+        #: equal the ring's so window index == archive slice index.
+        self.archive = archive
+        if archive is not None and \
+                archive.slice_seconds != float(window_seconds):
+            raise StoreError(
+                f"archive rotates every {archive.slice_seconds}s but the "
+                f"ring closes {window_seconds}s windows; they must match"
+            )
+        if archive is not None and origin is None:
+            # Reopening an archive whose grid is already fixed: the
+            # ring must land windows on the same slice boundaries.
+            origin = archive.origin
         self._origin = origin
         self.store = FlowStore(
             slice_seconds=self.window_seconds, origin=origin
         )
+        if archive is not None and origin is not None:
+            archive.set_origin(float(origin))
         self._max_event = -math.inf
         self._next_to_close = 0
         self._max_populated = -1
@@ -147,6 +170,8 @@ class WindowRing:
                 * self.window_seconds
             )
             self.store.set_origin(self._origin)
+            if self.archive is not None:
+                self.archive.set_origin(self._origin)
 
     def ingest(self, chunk: FlowTable) -> IngestResult:
         """Route one chunk's rows into their windows.
@@ -191,6 +216,17 @@ class WindowRing:
         start, end = self.interval(index)
         flows = self.store.count(start, end).flows
         window = ClosedWindow(index=index, start=start, end=end, flows=flows)
+        if self.archive is not None and flows:
+            # One sealed, sorted partition per closed window, written
+            # before retention can evict the rows: the window's result
+            # is final (late rows can never reopen it), so its durable
+            # copy is, too.
+            self.archive.write_partition(
+                self.store.query_table(start, end),
+                slice_index=index,
+                sealed=True,
+                sorted_rows=True,
+            )
         self._next_to_close = index + 1
         keep_from = self._next_to_close - self.retain_windows
         if keep_from > 0:

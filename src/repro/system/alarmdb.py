@@ -101,6 +101,18 @@ class AlarmDatabase:
         Returns the id the alarm is stored under (the existing alarm's
         id when merged).
         """
+        with self._conn:
+            return self._insert_in_tx(alarm, dedup_window)
+
+    def _insert_in_tx(
+        self, alarm: Alarm, dedup_window: float | None
+    ) -> str:
+        """Insert/merge one alarm inside the caller's transaction.
+
+        All statement batching lives here so :meth:`insert` (one
+        transaction per alarm) and :meth:`insert_many` (one
+        transaction per *batch*) share the exact same semantics.
+        """
         if dedup_window is not None:
             if dedup_window < 0:
                 raise AlarmDatabaseError(
@@ -110,28 +122,27 @@ class AlarmDatabase:
             if merged is not None:
                 return merged
         try:
-            with self._conn:
-                self._conn.execute(
-                    "INSERT INTO alarms (alarm_id, detector, start, end, "
-                    "score, label, router) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        alarm.alarm_id,
-                        alarm.detector,
-                        alarm.start,
-                        alarm.end,
-                        alarm.score,
-                        alarm.label,
-                        alarm.router,
-                    ),
-                )
-                self._conn.executemany(
-                    "INSERT INTO alarm_metadata (alarm_id, feature, value, "
-                    "weight) VALUES (?, ?, ?, ?)",
-                    [
-                        (alarm.alarm_id, m.feature.value, m.value, m.weight)
-                        for m in alarm.metadata
-                    ],
-                )
+            self._conn.execute(
+                "INSERT INTO alarms (alarm_id, detector, start, end, "
+                "score, label, router) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    alarm.alarm_id,
+                    alarm.detector,
+                    alarm.start,
+                    alarm.end,
+                    alarm.score,
+                    alarm.label,
+                    alarm.router,
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO alarm_metadata (alarm_id, feature, value, "
+                "weight) VALUES (?, ?, ?, ?)",
+                [
+                    (alarm.alarm_id, m.feature.value, m.value, m.weight)
+                    for m in alarm.metadata
+                ],
+            )
         except sqlite3.IntegrityError as exc:
             raise AlarmDatabaseError(
                 f"alarm {alarm.alarm_id!r} already stored"
@@ -141,7 +152,10 @@ class AlarmDatabase:
     def _merge_duplicate(
         self, alarm: Alarm, dedup_window: float
     ) -> str | None:
-        """Merge ``alarm`` into a stored duplicate; ``None`` if none."""
+        """Merge ``alarm`` into a stored duplicate; ``None`` if none.
+
+        Runs inside the caller's transaction (no commit here).
+        """
         row = self._conn.execute(
             "SELECT alarm_id, start, end, score FROM alarms "
             "WHERE detector = ? AND label = ? "
@@ -160,31 +174,30 @@ class AlarmDatabase:
         if row is None:
             return None
         existing_id, start, end, score = row
-        with self._conn:
-            self._conn.execute(
-                "UPDATE alarms SET start = ?, end = ?, score = ? "
-                "WHERE alarm_id = ?",
-                (
-                    min(start, alarm.start),
-                    max(end, alarm.end),
-                    max(score, alarm.score),
-                    existing_id,
-                ),
-            )
-            for item in alarm.metadata:
-                updated = self._conn.execute(
-                    "UPDATE alarm_metadata SET weight = MAX(weight, ?) "
-                    "WHERE alarm_id = ? AND feature = ? AND value = ?",
-                    (item.weight, existing_id, item.feature.value,
-                     item.value),
-                ).rowcount
-                if updated == 0:
-                    self._conn.execute(
-                        "INSERT INTO alarm_metadata (alarm_id, feature, "
-                        "value, weight) VALUES (?, ?, ?, ?)",
-                        (existing_id, item.feature.value, item.value,
-                         item.weight),
-                    )
+        self._conn.execute(
+            "UPDATE alarms SET start = ?, end = ?, score = ? "
+            "WHERE alarm_id = ?",
+            (
+                min(start, alarm.start),
+                max(end, alarm.end),
+                max(score, alarm.score),
+                existing_id,
+            ),
+        )
+        for item in alarm.metadata:
+            updated = self._conn.execute(
+                "UPDATE alarm_metadata SET weight = MAX(weight, ?) "
+                "WHERE alarm_id = ? AND feature = ? AND value = ?",
+                (item.weight, existing_id, item.feature.value,
+                 item.value),
+            ).rowcount
+            if updated == 0:
+                self._conn.execute(
+                    "INSERT INTO alarm_metadata (alarm_id, feature, "
+                    "value, weight) VALUES (?, ?, ?, ?)",
+                    (existing_id, item.feature.value, item.value,
+                     item.weight),
+                )
         return existing_id
 
     def insert_many(
@@ -193,13 +206,19 @@ class AlarmDatabase:
         """Insert several alarms; returns how many were stored as *new*.
 
         Alarms merged into existing entries (see :meth:`insert` with
-        ``dedup_window``) do not count.
+        ``dedup_window``) do not count. The whole batch commits as
+        **one transaction** — one fsync instead of one per alarm,
+        which is what keeps stream-engine window flushes with many
+        alarms cheap on a file-backed database — and is therefore
+        all-or-nothing: a duplicate id anywhere in the batch rolls the
+        entire batch back before the error propagates.
         """
         stored = 0
-        for alarm in alarms:
-            if self.insert(alarm, dedup_window=dedup_window) \
-                    == alarm.alarm_id:
-                stored += 1
+        with self._conn:
+            for alarm in alarms:
+                if self._insert_in_tx(alarm, dedup_window) \
+                        == alarm.alarm_id:
+                    stored += 1
         return stored
 
     def set_status(

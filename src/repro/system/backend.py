@@ -9,11 +9,19 @@ the extraction system and the console need:
 * pull a pre-alarm baseline window for the popular-value filter;
 * drill down into the raw flows matching an extracted itemset;
 * nfdump-style ad-hoc filter queries and top-N statistics.
+
+The backend is agnostic about where the rows live: ``store`` may be
+the in-memory :class:`~repro.flows.store.FlowStore` *or* an on-disk
+:class:`~repro.archive.reader.ArchiveReader` — both expose the same
+query surface with byte-identical results, so triage runs unchanged
+against a live ring or a persistent archive (the restart-recovery
+path: :meth:`FlowBackend.from_archive`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +33,9 @@ from repro.flows.store import FlowStore
 from repro.flows.table import FlowTable
 from repro.flows.trace import FlowTrace
 from repro.mining.items import Itemset
+
+if TYPE_CHECKING:
+    from repro.archive.reader import ArchiveReader
 
 __all__ = ["BackendWindows", "FlowBackend"]
 
@@ -42,7 +53,7 @@ class FlowBackend:
 
     def __init__(
         self,
-        store: FlowStore,
+        store: "FlowStore | ArchiveReader",
         baseline_bins: int = 3,
         pad_bins: int = 0,
     ) -> None:
@@ -56,6 +67,27 @@ class FlowBackend:
     def from_trace(cls, trace: FlowTrace, **kwargs: int) -> "FlowBackend":
         """Build a backend over an in-memory trace."""
         return cls(FlowStore.from_trace(trace), **kwargs)
+
+    @classmethod
+    def from_archive(
+        cls, root_or_reader, **kwargs: int
+    ) -> "FlowBackend":
+        """Build a backend over a persistent on-disk archive.
+
+        Accepts an archive directory path or an existing
+        :class:`~repro.archive.reader.ArchiveReader`. Alarm, baseline
+        and ad-hoc windows are then answered by zone-map-pruned mmap
+        scans — the durable triage path that survives a process
+        restart.
+        """
+        from repro.archive.reader import ArchiveReader
+
+        reader = (
+            root_or_reader
+            if isinstance(root_or_reader, ArchiveReader)
+            else ArchiveReader(root_or_reader)
+        )
+        return cls(reader, **kwargs)
 
     # -- alarm-driven windows ------------------------------------------------
 

@@ -82,6 +82,33 @@ class ExtractionSystem:
         )
         return cls(backend, config=config, workers=workers)
 
+    @classmethod
+    def from_archive(
+        cls,
+        root_or_reader,
+        alarmdb: AlarmDatabase | None = None,
+        config: SystemConfig | None = None,
+        workers: int = 1,
+    ) -> "ExtractionSystem":
+        """Build a system over a persistent on-disk flow archive.
+
+        This is the restart-recovery assembly: point it at the archive
+        directory (or an :class:`~repro.archive.reader.ArchiveReader`)
+        a previous process wrote and the file-backed alarm DB it
+        filled, and :meth:`process_open_alarms` resumes triage exactly
+        where the dead process stopped — alarm and baseline windows
+        are answered by pruned mmap scans over the archived
+        partitions.
+        """
+        config = config or SystemConfig()
+        backend = FlowBackend.from_archive(
+            root_or_reader,
+            baseline_bins=config.baseline_bins,
+            pad_bins=config.pad_bins,
+        )
+        return cls(backend, alarmdb=alarmdb, config=config,
+                   workers=workers)
+
     def close(self) -> None:
         """Release extraction worker pools this system owns (idempotent)."""
         self.extractor.close()

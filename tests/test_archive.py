@@ -1,0 +1,751 @@
+"""Tests for the persistent flow archive (repro.archive).
+
+Four layers of guarantees:
+
+* **Round-trip / equivalence** — archive write → mmap read is
+  byte-identical to the in-memory path: for any flow set and any
+  window+filter query, the pruned archive query, the full-scan
+  archive query and ``FlowStore.query_table`` return the same bytes
+  (Hypothesis drives this over random traces, windows and filters).
+* **Durability / crash recovery** — partitions appear atomically;
+  truncated or torn files are detected from metadata and quarantined,
+  never served, and never take the rest of the archive down; a
+  foreign schema version fails loudly with ``CodecError``.
+* **Integration** — the stream engine persists closed windows through
+  the ring, batch/stream alarm equivalence holds archive-backed, and
+  a *restarted* process resumes triage from the on-disk archive plus
+  the file-backed alarm DB.
+* **Compaction** — merging spills into sealed sorted partitions
+  changes the file set, never a query result; interrupted compaction
+  (merged file and its inputs both on disk) never double-counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    ZoneMap,
+    compact_archive,
+    parse_partition_name,
+)
+from repro.archive.layout import PARTITION_HEADER_SIZE
+from repro.errors import ArchiveError, CodecError
+from repro.flows.flowio import table_from_bytes, table_to_bytes
+from repro.flows.record import FlowRecord
+from repro.flows.store import FlowStore
+from repro.flows.table import FLOW_DTYPE, FlowTable
+from repro.flows.trace import FlowTrace
+from repro.parallel.partition import (
+    PartitionSpec,
+    partition_table,
+    read_archive_sharded,
+)
+from repro.stream import ReplayDriver, StreamEngine, streaming_adapter
+from repro.stream.sources import table_chunks
+from repro.system.alarmdb import AlarmDatabase
+from repro.system.backend import FlowBackend
+from repro.system.pipeline import ExtractionSystem
+
+
+def _random_table(count, seed=3, span=1800.0):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0.0, span, count)
+    return FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0A0000FF, count),
+        dst_ip=rng.integers(0x0A000000, 0x0A0000FF, count),
+        src_port=rng.integers(1024, 2048, count),
+        dst_port=rng.choice(np.array([53, 80, 443]), count),
+        proto=rng.choice(np.array([6, 17]), count),
+        packets=rng.integers(1, 500, count),
+        bytes=rng.integers(40, 100_000, count),
+        start=starts,
+        end=starts + rng.uniform(0.0, 60.0, count),
+    )
+
+
+def _write(root, table, slice_seconds=300.0, chunk_rows=1000, **kwargs):
+    with ArchiveWriter(root, slice_seconds=slice_seconds,
+                       **kwargs) as writer:
+        writer.ingest_chunks(table_chunks(table, chunk_rows))
+    return ArchiveReader(root)
+
+
+def _store(table, slice_seconds=300.0):
+    store = FlowStore(slice_seconds=slice_seconds)
+    store.insert_table(table)
+    return store
+
+
+def _same_bytes(a: FlowTable, b: FlowTable) -> bool:
+    return table_to_bytes(a) == table_to_bytes(b)
+
+
+class TestRoundTrip:
+    def test_reads_are_zero_copy_mmap_views(self, tmp_path):
+        reader = _write(tmp_path / "a", _random_table(5000))
+        for partition in reader.partitions():
+            assert isinstance(partition.table()._data, np.memmap)
+        # A fully covered, unfiltered window comes back without the
+        # reader copying covered partitions (only concat + sort).
+        assert len(reader.query_table(0.0, 1e9)) == 5000
+
+    def test_mmap_views_are_read_only(self, tmp_path):
+        reader = _write(tmp_path / "a", _random_table(100))
+        table = reader.partitions()[0].table()
+        with pytest.raises((ValueError, OSError)):
+            table._data["packets"][0] = 1
+
+    def test_pruned_equals_full_scan_equals_store(self, tmp_path):
+        table = _random_table(20_000, seed=11)
+        reader = _write(tmp_path / "a", table, chunk_rows=3000)
+        full = ArchiveReader(tmp_path / "a", use_zone_maps=False)
+        store = _store(table)
+        queries = [
+            (0.0, 1800.0, None),
+            (300.0, 600.0, "dst port 443"),
+            (0.0, 1800.0, "proto udp and packets > 250"),
+            (100.0, 455.0, "src ip 10.0.0.17 or dst port 53"),
+            (0.0, 1800.0, "dst port 9999"),
+            (600.0, 600.0, None),
+        ]
+        for start, end, flt in queries:
+            pruned = reader.query_table(start, end, flt)
+            assert _same_bytes(pruned, store.query_table(start, end, flt))
+            assert _same_bytes(pruned, full.query_table(start, end, flt))
+
+    def test_pruning_skips_partitions(self, tmp_path):
+        reader = _write(tmp_path / "a", _random_table(20_000), chunk_rows=2000)
+        total = len(reader.partitions())
+        assert total >= 6
+        reader.query_table(300.0, 600.0)
+        assert reader.last_scan.scanned < total
+        assert reader.last_scan.pruned_time > 0
+        reader.query_table(0.0, 1800.0, "dst port 9999")
+        assert reader.last_scan.scanned == 0
+        assert reader.last_scan.pruned_filter > 0
+
+    def test_count_matches_store(self, tmp_path):
+        table = _random_table(8000, seed=2)
+        reader = _write(tmp_path / "a", table)
+        store = _store(table)
+        for start, end, flt in [
+            (0.0, 1800.0, None),
+            (300.0, 900.0, "proto tcp"),
+            (0.0, 1800.0, "dst port 9999"),
+        ]:
+            ours = reader.count(start, end, flt)
+            theirs = store.count(start, end, flt)
+            assert ours.flows == theirs.flows
+            assert ours.packets == theirs.packets
+            assert ours.bytes == theirs.bytes
+
+    def test_top_feature_values_matches_store(self, tmp_path):
+        from repro.flows.record import FlowFeature
+
+        table = _random_table(5000, seed=8)
+        reader = _write(tmp_path / "a", table)
+        store = _store(table)
+        assert reader.top_feature_values(
+            0.0, 1800.0, FlowFeature.DST_PORT, n=5
+        ) == store.top_feature_values(0.0, 1800.0, FlowFeature.DST_PORT, n=5)
+
+    def test_spill_to_archives_a_store(self, tmp_path):
+        table = _random_table(6000, seed=4)
+        store = _store(table)
+        with ArchiveWriter(tmp_path / "a", slice_seconds=300.0) as writer:
+            assert store.spill_to(writer) == 6000
+        reader = ArchiveReader(tmp_path / "a")
+        assert _same_bytes(
+            reader.query_table(0.0, 1800.0),
+            store.query_table(0.0, 1800.0),
+        )
+
+    def test_repeated_spill_never_duplicates_rows(self, tmp_path):
+        table = _random_table(6000, seed=4)
+        store = _store(table)
+        with ArchiveWriter(tmp_path / "a", slice_seconds=300.0) as writer:
+            first = store.spill_to(writer, before=900.0)
+            assert first > 0
+            # A rotation policy re-runs the same call every interval;
+            # already-spilled slices must not re-archive.
+            assert store.spill_to(writer, before=900.0) == 0
+            later = store.spill_to(writer, before=1800.0)
+            assert first + later == 6000
+            assert store.spill_to(writer) == 0
+        reader = ArchiveReader(tmp_path / "a")
+        assert len(reader) == 6000
+
+    def test_late_rows_in_spilled_slices_reach_the_archive(
+        self, tmp_path
+    ):
+        table = _random_table(3000, seed=4)
+        store = _store(table)
+        with ArchiveWriter(tmp_path / "a", slice_seconds=300.0) as writer:
+            store.spill_to(writer)
+            # A straggler lands in an already-spilled slice...
+            late = _random_table(7, seed=99, span=250.0)
+            store.insert_table(late)
+            # ...and the next rotation pass (with expiry) must archive
+            # it rather than silently destroying the only copy.
+            assert store.spill_to(writer, expire=True) == 7
+        reader = ArchiveReader(tmp_path / "a")
+        assert len(reader) == 3007
+        assert store.count(0.0, 1e9).flows == 0
+
+    def test_spill_to_with_expiry_tiers_old_slices(self, tmp_path):
+        table = _random_table(6000, seed=4)
+        store = _store(table)
+        with ArchiveWriter(tmp_path / "a", slice_seconds=300.0) as writer:
+            store.spill_to(writer, before=900.0, expire=True)
+        # Old slices now live only on disk; the live edge only in RAM.
+        assert store.count(0.0, 900.0).flows == 0
+        reader = ArchiveReader(tmp_path / "a")
+        assert reader.count(0.0, 900.0).flows > 0
+        assert reader.count(900.0, 1800.0).flows == 0
+
+
+# Value pools mirror test_stream: small enough to collide, rich enough
+# to exercise dictionaries, ranges and both prune outcomes.
+_IPS = st.sampled_from(
+    [0x0A000001, 0x0A000002, 0x0A010203, 0xC0A80001, 0xC6336445]
+)
+_PORTS = st.sampled_from([0, 53, 80, 443, 1234, 55548, 65535])
+_PROTOS = st.sampled_from([1, 6, 17])
+_FILTERS = st.sampled_from([
+    None,
+    "dst port 443",
+    "src port in [53 80 1234]",
+    "proto udp",
+    "src ip 10.1.2.3",
+    "ip 198.51.100.69",
+    "net 10.0.0.0/8",
+    "packets > 100",
+    "bytes <= 5000",
+    "duration < 30",
+    "port < 100",
+    "not dst port 80",
+    "dst ip 192.168.0.1 and proto tcp",
+    "src port 55548 or dst port 53",
+    "flags S",
+    "dst port 7",
+])
+
+
+@st.composite
+def flow_records(draw):
+    start = draw(st.floats(min_value=0.0, max_value=1500.0,
+                           allow_nan=False, allow_infinity=False))
+    return FlowRecord(
+        src_ip=draw(_IPS),
+        dst_ip=draw(_IPS),
+        src_port=draw(_PORTS),
+        dst_port=draw(_PORTS),
+        proto=draw(_PROTOS),
+        packets=draw(st.integers(min_value=1, max_value=50_000)),
+        bytes=draw(st.integers(min_value=40, max_value=1_000_000)),
+        start=start,
+        end=start + draw(st.floats(min_value=0.0, max_value=120.0,
+                                   allow_nan=False,
+                                   allow_infinity=False)),
+        tcp_flags=draw(st.integers(min_value=0, max_value=0x3F)),
+    )
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        flows=st.lists(flow_records(), min_size=1, max_size=60),
+        chunk_rows=st.integers(min_value=1, max_value=40),
+        window=st.tuples(
+            st.floats(min_value=-100.0, max_value=1600.0),
+            st.floats(min_value=0.0, max_value=800.0),
+        ),
+        flt=_FILTERS,
+        compact=st.booleans(),
+    )
+    def test_archive_query_matches_store(
+        self, tmp_path_factory, flows, chunk_rows, window, flt, compact
+    ):
+        """write → (maybe compact) → mmap read == in-memory store."""
+        root = tmp_path_factory.mktemp("archive")
+        table = FlowTrace(flows, bin_seconds=300.0).table
+        reader = _write(root, table, chunk_rows=chunk_rows)
+        if compact:
+            compact_archive(root, reader=reader)
+        full = ArchiveReader(root, use_zone_maps=False)
+        store = _store(table)
+        start, width = window
+        end = start + width
+        pruned = reader.query_table(start, end, flt)
+        assert _same_bytes(pruned, store.query_table(start, end, flt))
+        assert _same_bytes(pruned, full.query_table(start, end, flt))
+
+
+class TestDurability:
+    def test_truncated_partition_quarantined_not_served(self, tmp_path):
+        root = tmp_path / "a"
+        table = _random_table(6000, seed=9)
+        reader = _write(root, table, chunk_rows=1000)
+        healthy = len(reader.partitions())
+        assert healthy >= 6
+        victim = reader.partitions()[2].path
+        payload = victim.read_bytes()
+        victim.write_bytes(payload[: len(payload) // 2])
+
+        survivor = ArchiveReader(root)
+        assert len(survivor.partitions()) == healthy - 1
+        assert survivor.stats().quarantined == 1
+        assert (root / "quarantine" / victim.name).exists()
+        assert not victim.exists()
+        # Served rows are exactly the healthy partitions' rows.
+        expected = sum(p.rows for p in survivor.partitions())
+        assert len(survivor.query_table(0.0, 1e9)) == expected
+
+    def test_orphaned_tmp_and_missing_sidecar_quarantined(self, tmp_path):
+        import os
+        import time
+
+        root = tmp_path / "a"
+        reader = _write(root, _random_table(2000), chunk_rows=500)
+        count = len(reader.partitions())
+        stray = root / ".tmp-part9-h0-0.flows.123"
+        stray.write_bytes(b"junk")
+        # Age both leftovers past the in-flight-write grace period.
+        old = (time.time() - 600.0,) * 2
+        os.utime(stray, old)
+        sidecar_less = reader.partitions()[0]
+        os.utime(sidecar_less.path, old)
+        reader.layout.zone_path(sidecar_less.path).unlink()
+
+        survivor = ArchiveReader(root)
+        assert len(survivor.partitions()) == count - 1
+        assert survivor.stats().quarantined == 2
+
+    def test_in_flight_writer_files_are_left_alone(self, tmp_path):
+        root = tmp_path / "a"
+        reader = _write(root, _random_table(500), chunk_rows=500)
+        in_flight = root / ".tmp-part9-h0-0.flows.123"
+        in_flight.write_bytes(b"half-written partition")
+        # A freshly renamed data file whose sidecar has not landed yet
+        # is a live writer mid-write, not garbage: quarantining either
+        # file would crash that writer / lose the partition.
+        sidecar = reader.layout.zone_path(reader.partitions()[0].path)
+        sidecar_backup = sidecar.read_bytes()
+        sidecar.unlink()
+        fresh = ArchiveReader(root)
+        assert in_flight.exists()
+        assert fresh.stats().quarantined == 0
+        # Once the "writer" finishes the sidecar, the partition serves.
+        sidecar.write_bytes(sidecar_backup)
+        fresh.refresh()
+        assert len(fresh.partitions()) == len(reader.partitions())
+
+    def test_partition_name_collision_is_loud(self, tmp_path):
+        root = tmp_path / "a"
+        first = ArchiveWriter(root, slice_seconds=300.0, origin=0.0)
+        second = ArchiveWriter(root)  # same dir: same next seq numbers
+        table = _random_table(50, span=200.0)
+        first.write_partition(table, slice_index=0)
+        with pytest.raises(ArchiveError, match="another writer"):
+            second.write_partition(table, slice_index=0)
+        # The winner's partition survives untouched.
+        assert len(ArchiveReader(root).query_table(0.0, 300.0)) == 50
+
+    def test_foreign_schema_version_raises_codec_error(self, tmp_path):
+        root = tmp_path / "a"
+        reader = _write(root, _random_table(500), chunk_rows=500)
+        path = reader.partitions()[0].path
+        raw = bytearray(path.read_bytes())
+        raw[4] = 0xEE  # version field of the little-endian header
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CodecError, match="schema version"):
+            ArchiveReader(root)
+
+    def test_table_frame_schema_version_checked(self):
+        frame = bytearray(table_to_bytes(_random_table(3)))
+        assert table_from_bytes(bytes(frame))  # sanity
+        frame[5] = 0xEE  # version field of the network-order header
+        with pytest.raises(CodecError, match="schema version"):
+            table_from_bytes(bytes(frame))
+
+    def test_writer_geometry_is_pinned(self, tmp_path):
+        root = tmp_path / "a"
+        with ArchiveWriter(root, slice_seconds=300.0, origin=0.0) as w:
+            w.ingest_table(_random_table(100))
+        with pytest.raises(ArchiveError):
+            ArchiveWriter(root, slice_seconds=60.0)
+        with pytest.raises(ArchiveError):
+            ArchiveWriter(root, slice_seconds=300.0, origin=600.0)
+        # None adopts the manifest; an explicit width must match it
+        # even when it happens to equal the library default.
+        assert ArchiveWriter(root).slice_seconds == 300.0
+        minute_root = tmp_path / "minute"
+        with ArchiveWriter(minute_root, slice_seconds=60.0) as w:
+            w.ingest_table(_random_table(50, span=100.0))
+        with pytest.raises(ArchiveError):
+            ArchiveWriter(minute_root, slice_seconds=300.0)
+
+    def test_fractional_widths_ingest_boundary_floats(self, tmp_path):
+        import math
+
+        # A start one ulp below a slice boundary must archive under
+        # the slice it *routes* to — the write-time validation uses
+        # the same floor-divide as every ingest path, so grids that
+        # disagree by float dust (non-dyadic widths) cannot crash it.
+        width = 0.7
+        edge = math.nextafter(9325 * width, -math.inf)
+        table = FlowTable.from_columns(
+            src_ip=[1], dst_ip=[2], src_port=[3], dst_port=[4],
+            proto=[6], start=[edge], end=[edge + 1.0],
+        )
+        with ArchiveWriter(tmp_path / "a", slice_seconds=width,
+                           origin=0.0) as writer:
+            writer.ingest_table(table)
+        reader = ArchiveReader(tmp_path / "a")
+        assert len(reader) == 1
+        assert len(reader.query_table(edge - 1.0, edge + 1.0)) == 1
+
+    def test_quarantine_count_survives_reader_restarts(self, tmp_path):
+        root = tmp_path / "a"
+        reader = _write(root, _random_table(3000, seed=3),
+                        chunk_rows=500)
+        victim = reader.partitions()[1].path
+        victim.write_bytes(victim.read_bytes()[:40])
+        assert ArchiveReader(root).stats().quarantined == 1
+        # A *fresh* process still sees the directory's quarantine
+        # state — the counter is the directory's, not the instance's.
+        assert ArchiveReader(root).stats().quarantined == 1
+
+    def test_partition_names_round_trip(self):
+        from repro.archive import PartitionKey, partition_file_name
+
+        for key in (
+            PartitionKey(0, 0, 0),
+            PartitionKey(-3, 2, 17),
+            PartitionKey(1234, 15, 9),
+        ):
+            assert parse_partition_name(partition_file_name(key)) == key
+        assert parse_partition_name("MANIFEST.json") is None
+        assert parse_partition_name("part1-h0-0.zone.json") is None
+
+
+class TestCompaction:
+    def test_merges_spills_into_sealed_sorted_partitions(self, tmp_path):
+        root = tmp_path / "a"
+        table = _random_table(9000, seed=6)
+        reader = _write(root, table, chunk_rows=700, spill_rows=400)
+        before = len(reader.partitions())
+        slices = {p.key.slice_index for p in reader.partitions()}
+        assert before > len(slices)
+
+        result = compact_archive(root)
+        assert result.partitions_before == before
+        reader = ArchiveReader(root)
+        assert len(reader.partitions()) == len(slices)
+        assert all(p.zone.sealed for p in reader.partitions())
+        assert all(p.zone.sorted for p in reader.partitions())
+        assert _same_bytes(
+            reader.query_table(0.0, 1800.0),
+            _store(table).query_table(0.0, 1800.0),
+        )
+        # Already-terminal groups are left alone.
+        again = compact_archive(root)
+        assert again.groups == 0
+
+    def test_interrupted_compaction_never_double_counts(self, tmp_path):
+        root = tmp_path / "a"
+        table = _random_table(3000, seed=12)
+        reader = _write(root, table, chunk_rows=400, spill_rows=200)
+        originals = {p.path.name for p in reader.partitions()}
+
+        # Simulate the crash window: merged partitions written (with
+        # provenance), originals still on disk.
+        writer = ArchiveWriter(root)
+        by_group = {}
+        for p in reader.partitions():
+            by_group.setdefault(
+                (p.key.slice_index, p.key.shard), []
+            ).append(p)
+        for (slice_index, shard), group in by_group.items():
+            merged = FlowTable.concat(
+                [p.table() for p in sorted(group, key=lambda p: p.key)]
+            ).sorted_by_start()
+            writer.write_partition(
+                merged, slice_index=slice_index, shard=shard,
+                sealed=True, sorted_rows=True,
+                replaces=tuple(p.path.name for p in group),
+            )
+
+        recovered = ArchiveReader(root)
+        assert {p.path.name for p in recovered.partitions()} \
+            .isdisjoint(originals)
+        assert len(recovered.query_table(0.0, 1800.0)) == 3000
+
+        # Re-running compaction completes the interrupted deletes: the
+        # superseded inputs leave the directory for good.
+        compact_archive(root)
+        remaining = {
+            path.name
+            for _key, path in recovered.layout.partition_files()
+        }
+        assert remaining.isdisjoint(originals)
+        final = ArchiveReader(root)
+        assert len(final.query_table(0.0, 1800.0)) == 3000
+        # The reader cache follows the directory: deleted partitions
+        # do not stay pinned through cached mmap views.
+        final.refresh()
+        assert set(final._loaded).isdisjoint(originals)
+
+
+class TestShardAware:
+    def test_direct_shard_reads_match_hashed_fallback(self, tmp_path):
+        table = _random_table(10_000, seed=13)
+        spec = PartitionSpec(shards=3, seed=5)
+        sharded_root = tmp_path / "sharded"
+        plain_root = tmp_path / "plain"
+        _write(sharded_root, table, shard_spec=spec)
+        _write(plain_root, table)
+
+        direct = read_archive_sharded(sharded_root, spec)
+        fallback = read_archive_sharded(plain_root, spec)
+        expected = partition_table(
+            _store(table).query_table(0.0, 1e9), spec
+        )
+        for d, f, e in zip(direct, fallback, expected):
+            assert len(d) == len(f) == len(e)
+            key = lambda t: sorted(map(tuple, t._data.tolist()))  # noqa: E731
+            assert key(d) == key(f) == key(e)
+
+    def test_shard_partition_files_carry_the_spec(self, tmp_path):
+        spec = PartitionSpec(shards=2, key="dst_ip", seed=9)
+        reader = _write(tmp_path / "a", _random_table(2000),
+                        shard_spec=spec)
+        for partition in reader.partitions():
+            assert partition.zone.shard_spec == (
+                2, "dst_ip", 9, partition.key.shard
+            )
+
+    def test_sharded_archive_queries_still_match_store(self, tmp_path):
+        table = _random_table(8000, seed=14)
+        reader = _write(tmp_path / "a", table,
+                        shard_spec=PartitionSpec(shards=4))
+        store = _store(table)
+        assert _same_bytes(
+            reader.query_table(300.0, 900.0, "dst port 53"),
+            store.query_table(300.0, 900.0, "dst port 53"),
+        )
+
+
+def _scenario_split():
+    from repro.flows.addresses import ip_to_int
+    from repro.synth.anomalies import PortScan
+    from repro.synth.background import BackgroundConfig
+    from repro.synth.scenario import Scenario
+    from repro.synth.topology import Topology
+
+    topology = Topology()
+    scenario = Scenario(
+        topology=topology,
+        background=BackgroundConfig(flows_per_second=12.0),
+        bin_count=12,
+    )
+    target = topology.host_address(topology.pops[9], 3)
+    scenario.add(
+        PortScan("scan", ip_to_int("203.0.113.99"), target,
+                 flow_count=6000, src_port=55548),
+        start_bin=10,
+    )
+    trace = scenario.build(seed=7).trace
+    split = trace.origin + 8 * trace.bin_seconds
+    training = trace.where(lambda f: f.start < split)
+    tail = trace.between_table(split, trace.span[1] + 1.0)
+    return training, tail, split, trace.bin_seconds
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return _scenario_split()
+
+
+@pytest.fixture(scope="module")
+def trained(scenario):
+    from repro.detect.netreflex import NetReflexDetector
+
+    detector = NetReflexDetector()
+    detector.train(scenario[0])
+    return detector
+
+
+class TestStreamIntegration:
+    def test_archive_backed_stream_matches_batch_alarms(
+        self, tmp_path, scenario, trained
+    ):
+        _, tail, split, bin_seconds = scenario
+        batch = trained.detect(
+            FlowTrace(tail, bin_seconds=bin_seconds, origin=split)
+        )
+        engine = StreamEngine(
+            [streaming_adapter(trained)],
+            window_seconds=bin_seconds,
+            origin=split,
+            retain_windows=2,  # RAM evicts aggressively; disk keeps all
+            archive=ArchiveWriter(
+                tmp_path / "spool", slice_seconds=bin_seconds
+            ),
+        )
+        results, _ = ReplayDriver(tail, chunk_rows=2048).replay(engine)
+        streamed = [a for r in results for a in r.alarms]
+        assert batch, "scenario must alarm"
+        assert [a.alarm_id for a in streamed] == \
+            [a.alarm_id for a in batch]
+        for expected, actual in zip(batch, streamed):
+            assert actual.label == expected.label
+            assert actual.score == pytest.approx(expected.score, rel=1e-9)
+        # Every admitted flow is durable, despite retain_windows=2.
+        reader = ArchiveReader(tmp_path / "spool")
+        assert len(reader) == engine.stats.flows
+        assert engine.ring.store.count(split, split + 1e9).flows \
+            < engine.stats.flows
+
+    def test_killed_process_resumes_triage_from_disk(
+        self, tmp_path, scenario, trained
+    ):
+        _, tail, split, bin_seconds = scenario
+        spool = tmp_path / "spool"
+        db_path = tmp_path / "alarms.db"
+
+        engine = StreamEngine(
+            [streaming_adapter(trained)],
+            window_seconds=bin_seconds,
+            origin=split,
+            alarmdb=AlarmDatabase(db_path),
+            archive=ArchiveWriter(spool, slice_seconds=bin_seconds),
+        )
+        ReplayDriver(tail, chunk_rows=2048).replay(engine)
+        fired = engine.stats.alarms
+        assert fired >= 1
+        assert engine.alarmdb.count("open") == fired
+        # "Kill" the process: drop the engine, ring and connections.
+        engine.alarmdb.close()
+        engine.close()
+        del engine
+
+        # A fresh process: archive dir + alarm DB file are all it has.
+        alarmdb = AlarmDatabase(db_path)
+        system = ExtractionSystem.from_archive(spool, alarmdb=alarmdb)
+        results = system.process_open_alarms(skip_errors=True)
+        assert len(results) == fired
+        assert alarmdb.count("open") == 0
+        assert any(
+            t.verdict.useful and t.alarm.label == "port scan"
+            for t in results
+        )
+        alarmdb.close()
+
+    def test_backend_from_archive_matches_in_memory(
+        self, tmp_path, scenario, trained
+    ):
+        _, tail, split, bin_seconds = scenario
+        with ArchiveWriter(tmp_path / "a",
+                           slice_seconds=bin_seconds) as writer:
+            writer.ingest_chunks(table_chunks(tail, 4096))
+        store = FlowStore(slice_seconds=bin_seconds)
+        store.insert_table(tail)
+        alarms = trained.detect(
+            FlowTrace(tail, bin_seconds=bin_seconds, origin=split)
+        )
+        archive_backend = FlowBackend.from_archive(tmp_path / "a")
+        memory_backend = FlowBackend(store)
+        for alarm in alarms:
+            assert _same_bytes(
+                archive_backend.alarm_table(alarm),
+                memory_backend.alarm_table(alarm),
+            )
+            assert _same_bytes(
+                archive_backend.baseline_table(alarm),
+                memory_backend.baseline_table(alarm),
+            )
+
+
+class TestAlarmDbBatch:
+    def _alarm(self, i, start=0.0):
+        from repro.detect.base import Alarm
+
+        return Alarm(
+            alarm_id=f"a-{i}", detector="t", start=start,
+            end=start + 300.0, score=1.0,
+        )
+
+    def test_insert_many_is_one_transaction(self, tmp_path):
+        db = AlarmDatabase(tmp_path / "alarms.db")
+        statements: list[str] = []
+        db._conn.set_trace_callback(statements.append)
+        assert db.insert_many([self._alarm(i) for i in range(50)]) == 50
+        db._conn.set_trace_callback(None)
+        commits = [
+            s for s in statements if s.strip().upper().startswith("COMMIT")
+        ]
+        begins = [
+            s for s in statements if s.strip().upper().startswith("BEGIN")
+        ]
+        assert len(commits) == 1
+        assert len(begins) == 1
+        assert db.count() == 50
+        db.close()
+
+    def test_insert_many_rolls_back_whole_batch(self, tmp_path):
+        db = AlarmDatabase(tmp_path / "alarms.db")
+        db.insert(self._alarm(7))
+        from repro.errors import AlarmDatabaseError
+
+        with pytest.raises(AlarmDatabaseError):
+            db.insert_many(
+                [self._alarm(100), self._alarm(7), self._alarm(101)]
+            )
+        # All-or-nothing: the pre-duplicate insert rolled back too.
+        assert db.count() == 1
+        db.close()
+
+    def test_insert_many_dedup_still_merges(self):
+        db = AlarmDatabase()
+        assert db.insert_many(
+            [self._alarm(1), self._alarm(2, start=100.0)],
+        ) == 2  # no dedup window: both stored as new
+        db2 = AlarmDatabase()
+        first = self._alarm(1)
+        refire = self._alarm(2, start=200.0)
+        assert db2.insert_many([first, refire], dedup_window=600.0) == 1
+        assert db2.count() == 1
+
+
+class TestZoneMapJson:
+    def test_round_trip(self):
+        table = _random_table(500, seed=1)
+        zone = ZoneMap.from_table(
+            table, sealed=True, sorted_rows=True,
+            shard_spec=(4, "src_ip", 7, 2), replaces=("x.flows",),
+        )
+        parsed = ZoneMap.from_json(zone.to_json())
+        assert parsed == zone
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ArchiveError):
+            ZoneMap.from_json("{}")
+        with pytest.raises(ArchiveError):
+            ZoneMap.from_json("not json at all")
+
+    def test_dtype_is_little_endian_on_disk(self):
+        # The zero-copy contract depends on FLOW_DTYPE being explicitly
+        # little-endian: a memmap'd partition must parse identically on
+        # any host.
+        for name in FLOW_DTYPE.names:
+            dtype = FLOW_DTYPE[name]
+            assert dtype == dtype.newbyteorder("<"), name
+
+    def test_partition_header_size_is_stable(self):
+        assert PARTITION_HEADER_SIZE == 32
