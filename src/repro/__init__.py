@@ -2,58 +2,120 @@
 
 A full reproduction of *"Automating Root-Cause Analysis of Network
 Anomalies using Frequent Itemset Mining"* (Paredes-Oliva et al.,
-SIGCOMM 2010) and the technique papers behind it: an open-source
-anomaly-extraction system that takes any detector's alarm and returns a
-ranked, classified, Table-1-style summary of the flows behind it.
+SIGCOMM 2010) and the technique papers behind it, grown into a
+columnar, sharded, streaming, archive-backed deployment system.
+
+Public API
+----------
+The stable, supported surface is :mod:`repro.api` plus the core data
+types re-exported here (``__all__`` is the contract — the API-surface
+snapshot test fails when it drifts). A session is five orthogonal
+specs — source, detector, mining, execution, sink — composed with a
+fluent builder or loaded from TOML, and every execution mode (batch,
+sharded batch, windowed stream, sharded stream, archive-resume) runs
+through the same ``Session.run()``::
+
+    import repro
+
+    result = (
+        repro.session()
+        .source("rpv5", path="trace.rpv5")
+        .detect("netreflex", train_bins=8)
+        .stream(workers=4, triage=True)
+        .archive("spool/")
+        .run()
+    )
+
+    result = repro.Session.from_config("config.toml").run()
+
+API stability
+-------------
+* :mod:`repro.api` names and the types in ``__all__`` below follow
+  semantic versioning from ``__version__``.
+* Subsystem modules (``repro.flows``, ``repro.detect``,
+  ``repro.mining``, ``repro.extraction``, ``repro.stream``,
+  ``repro.parallel``, ``repro.archive``, ``repro.system``,
+  ``repro.synth``, ``repro.eval``) are importable and documented but
+  are *implementation* surface; prefer the facade.
+* The legacy entry points (``ExtractionSystem``, ``StreamEngine``,
+  ``ShardedStreamEngine``, ``FlowBackend.from_archive``) remain
+  supported compatibility shims — the facade composes them and the
+  equivalence suite holds ``Session`` byte-identical to each — but new
+  capabilities land as specs/registry entries, not as new entry
+  points.
 
 Subpackages
 -----------
+``repro.api``
+    The declarative session facade: specs, registries, builder, TOML.
 ``repro.flows``
-    NetFlow substrate: records, v5 codec, sampling, nfdump-style store
-    and filter language.
+    NetFlow substrate: columnar tables, v5 codec, sampling, filters.
 ``repro.synth``
-    Synthetic labelled traces: GEANT-like topology, background traffic,
-    anomaly injectors.
+    Synthetic labelled traces: topology, background, anomaly presets.
 ``repro.detect``
-    Histogram/KL detector (Kind et al.) and a PCA/entropy NetReflex
-    stand-in (Lakhina et al.).
+    Histogram/KL and PCA/entropy detectors.
 ``repro.mining``
-    Apriori, FP-Growth and Eclat from scratch, dual flow/packet support,
-    the self-tuning extended Apriori.
+    Apriori, FP-Growth, Eclat; dual support; self-tuning envelope.
 ``repro.extraction``
-    The core contribution: candidates → mining → filtering → ranking →
-    classification → validation.
+    Candidates → mining → filtering → ranking → classification.
 ``repro.system``
-    Figure 1 assembled: alarm DB, flow backend, operator console,
-    end-to-end pipeline.
-``repro.archive``
-    Persistent mmap'd columnar flow archive: time/shard-partitioned
-    files, zone-map-pruned queries, compaction — triage that survives
-    process restarts.
+    Alarm DB, flow backend, console, the Figure-1 pipeline.
+``repro.stream`` / ``repro.parallel`` / ``repro.archive``
+    Online windows, sharded execution, persistent mmap'd archive.
 ``repro.eval``
-    Experiment harness regenerating every table, figure and in-text
-    statistic of the paper.
-
-Quickstart
-----------
->>> from repro.synth import Scenario, PortScan, Topology
->>> from repro.extraction import AnomalyExtractor
->>> from repro.eval import synthesize_alarm
->>> topo = Topology()
->>> scenario = Scenario(topology=topo, bin_count=4)
->>> target = topo.host_address(topo.pops[0], 1)
->>> _ = scenario.add(PortScan("scan", 0xC0A80001, target, 2000), 2)
->>> labeled = scenario.build(seed=1)
->>> alarm = synthesize_alarm("demo", labeled.truths)
->>> report = AnomalyExtractor().extract(
-...     alarm, labeled.trace.between(alarm.start, alarm.end))
->>> report.useful
-True
+    Harness regenerating the paper's tables and figures.
 """
 
-from repro.errors import ReproError
+from repro.api import (
+    DetectorSpec,
+    ExecutionSpec,
+    MiningSpec,
+    RunResult,
+    Session,
+    SessionBuilder,
+    SessionSpec,
+    SinkSpec,
+    SourceSpec,
+    session,
+)
+from repro.detect.base import Alarm, Detector, MetadataItem
+from repro.errors import RegistryError, ReproError, SpecError
+from repro.extraction.extractor import ExtractionReport
+from repro.flows.record import FlowFeature, FlowRecord
+from repro.flows.table import FlowTable
+from repro.flows.trace import FlowTrace
+from repro.system.pipeline import TriageResult
 from repro.taxonomy import AnomalyKind
 
-__version__ = "1.0.0"
+__version__ = "0.3.0"
 
-__all__ = ["ReproError", "AnomalyKind", "__version__"]
+__all__ = [
+    # facade
+    "session",
+    "Session",
+    "SessionBuilder",
+    "RunResult",
+    "SourceSpec",
+    "DetectorSpec",
+    "MiningSpec",
+    "ExecutionSpec",
+    "SinkSpec",
+    "SessionSpec",
+    # core data types
+    "Alarm",
+    "MetadataItem",
+    "Detector",
+    "FlowRecord",
+    "FlowFeature",
+    "FlowTable",
+    "FlowTrace",
+    "ExtractionReport",
+    "TriageResult",
+    "AnomalyKind",
+    # errors
+    "ReproError",
+    "SpecError",
+    "RegistryError",
+    # metadata
+    "__version__",
+]

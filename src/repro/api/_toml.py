@@ -1,0 +1,108 @@
+"""A minimal TOML emitter for session specs.
+
+The standard library reads TOML (:mod:`tomllib`) but cannot write it;
+rather than grow a dependency, this emits the small subset session
+specs need — string/bool/int/float scalars, homogeneous inline arrays
+and nested tables — in a form :func:`tomllib.loads` parses back to the
+exact input mapping (the round-trip the spec test suite asserts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+
+__all__ = ["dumps"]
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\b": "\\b",
+    "\f": "\\f",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def _scalar(value: Any, path: str) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise SpecError(
+                f"non-finite float is not serializable: {value!r}",
+                field=path,
+            )
+        return repr(value)
+    if isinstance(value, str):
+        escaped = "".join(
+            _ESCAPES.get(ch, ch)
+            if ch in _ESCAPES or ord(ch) >= 0x20
+            else f"\\u{ord(ch):04x}"
+            for ch in value
+        )
+        return f'"{escaped}"'
+    if isinstance(value, (list, tuple)):
+        items = ", ".join(
+            _scalar(item, f"{path}[{i}]") for i, item in enumerate(value)
+        )
+        return f"[{items}]"
+    raise SpecError(
+        f"value of type {type(value).__name__} is not TOML-serializable: "
+        f"{value!r}",
+        field=path,
+    )
+
+
+def _bare_key(key: str) -> str:
+    if key and all(
+        ch.isalnum() or ch in "-_" for ch in key
+    ):
+        return key
+    return _scalar(key, key)
+
+
+def _emit_table(
+    mapping: Mapping[str, Any], prefix: str, lines: list[str]
+) -> None:
+    scalars = {
+        k: v for k, v in mapping.items() if not isinstance(v, Mapping)
+    }
+    subtables = {
+        k: v for k, v in mapping.items() if isinstance(v, Mapping)
+    }
+    if prefix and (scalars or not subtables):
+        if lines:
+            lines.append("")
+        lines.append(f"[{prefix}]")
+    for key, value in scalars.items():
+        if value is None:
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        lines.append(f"{_bare_key(key)} = {_scalar(value, path)}")
+    for key, value in subtables.items():
+        sub_prefix = (
+            f"{prefix}.{_bare_key(key)}" if prefix else _bare_key(key)
+        )
+        _emit_table(value, sub_prefix, lines)
+
+
+def dumps(data: Mapping[str, Any]) -> str:
+    """Serialize a nested mapping of TOML-compatible values."""
+    lines: list[str] = []
+    top_scalars = {
+        k: v for k, v in data.items() if not isinstance(v, Mapping)
+    }
+    for key, value in top_scalars.items():
+        if value is None:
+            continue
+        lines.append(f"{_bare_key(key)} = {_scalar(value, key)}")
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            _emit_table(value, _bare_key(key), lines)
+    return "\n".join(lines) + "\n"

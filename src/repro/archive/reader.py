@@ -550,3 +550,50 @@ class ArchiveReader:
         """Every partition's rows as zero-copy views, scan order."""
         for partition in self._partitions:
             yield partition.table()
+
+
+# -- session-facade registration ---------------------------------------------
+
+class ArchiveSource:
+    """``archive`` source: a persistent on-disk partition directory.
+
+    Bounded (the archive's current contents), and additionally exposes
+    :meth:`reader` so archive-resume triage, pruned queries and
+    management modes operate on the zone-map-pruned surface directly.
+    """
+
+    kind = "archive"
+    bounded = True
+
+    def __init__(self, spec) -> None:
+        from repro.errors import SpecError
+
+        self.spec = spec
+        if not spec.path:
+            raise SpecError(
+                "source kind 'archive' requires a directory path",
+                field="source.path",
+            )
+        self.path = spec.path
+        self._reader: ArchiveReader | None = None
+
+    def reader(self) -> ArchiveReader:
+        """The (cached) zone-map-pruned reader over the directory."""
+        if self._reader is None:
+            self._reader = ArchiveReader(self.path)
+        return self._reader
+
+    def trace(self):
+        return self.reader().to_trace()
+
+    def chunks(self, chunk_rows: int):
+        for table in self.reader().iter_tables():
+            yield table
+
+    def describe(self) -> str:
+        return self.path
+
+
+from repro.api.registry import sources as _sources  # noqa: E402
+
+_sources.register("archive", ArchiveSource)

@@ -1,6 +1,8 @@
-"""Command-line interface to the anomaly-extraction system.
+"""Command-line interface — a thin shell over :mod:`repro.api`.
 
-Six subcommands mirror the deployment workflow::
+Every subcommand builds a declarative session spec and calls
+``Session.run()``; nothing below this module wires engines by hand.
+The subcommands mirror the deployment workflow::
 
     python -m repro.cli synth   --out trace.rpv5 --bins 6 --seed 7 \\
         --anomaly port-scan --anomaly udp-flood
@@ -11,60 +13,73 @@ Six subcommands mirror the deployment workflow::
     python -m repro.cli stream  trace.rpv5 --train-bins 8 --speedup 60 \\
         --triage --archive spool/ --alarmdb alarms.db
     python -m repro.cli archive ingest trace.rpv5 --dir spool/
-    python -m repro.cli archive query --dir spool/ \\
-        --start 1200 --end 1500 --filter 'dst port 445'
     python -m repro.cli archive triage --dir spool/ --alarmdb alarms.db
+    python -m repro.cli run     config.toml --workers 4
 
-``synth`` writes a labelled trace through the NetFlow v5 binary codec
-(the format the other commands read back); ``detect`` trains the
-NetReflex-like detector on the leading bins and prints the alarms of
-the rest; ``extract`` runs the full extraction pipeline for a window,
-with optional meta-data hints, and prints the Table-1 view; ``stream``
-replays the trace tail through the online engine — incremental
-detection, alarm DB inserts and (with ``--triage``) live extraction
-reports as windows close; with ``--archive`` closed windows also
-persist to an on-disk partition directory and with ``--alarmdb`` the
-alarm store survives the process. ``archive`` manages that directory:
-``ingest`` bulk-loads a trace, ``ls``/``stats`` inspect partitions and
-zone maps, ``query`` answers pruned window+filter queries straight off
-the mmap'd files, ``compact`` merges rotation spills into sealed
-partitions, and ``triage`` resumes alarm triage against the archive
-after a restart — the durable loop of the paper's deployment.
+``run`` is the declarative face: a TOML file with ``[source]``,
+``[detector]``, ``[mining]``, ``[execution]`` and ``[sink]`` sections
+(see ``examples/configs/``) executes through the same facade, with
+``--set section.key=value`` for ad-hoc overrides.
 
-``detect``, ``extract`` and ``stream`` all take ``--workers N`` to fan
-their heavy passes out over the sharded execution subsystem
-(:mod:`repro.parallel`); results are identical for any worker count.
+Shared flags (``--workers``, ``--archive``, ``--alarmdb``, the window
+geometry) are *generated* from the spec dataclasses' field metadata via
+parent parsers, so their help text and defaults cannot drift between
+subcommands.
+
+Exit codes map the :mod:`repro.errors` hierarchy: ``2`` bad spec or
+configuration, ``3`` unknown registry name, ``4`` filter errors,
+``5`` codec/schema errors, ``6`` archive errors, ``1`` any other
+library error, ``130`` interrupted.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+import tomllib
+from dataclasses import MISSING, fields
+from typing import Any, Sequence
 
-from repro.detect.base import Alarm, MetadataItem
-from repro.detect.netreflex import NetReflexDetector
-from repro.errors import ReproError
-from repro.extraction.extractor import AnomalyExtractor
-from repro.extraction.summarize import table_rows
-from repro.extraction.validate import validate_report
-from repro.flows.addresses import ip_to_int
-from repro.flows.flowio import read_binary_table, write_binary
-from repro.flows.record import FlowFeature
-from repro.flows.store import FlowStore
-from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace
-from repro.system.alarmdb import AlarmDatabase
-from repro.system.console import render_table, verdict_view
-
-__all__ = ["main", "build_parser"]
-
-_ANOMALY_CHOICES = (
-    "port-scan",
-    "network-scan",
-    "syn-flood",
-    "udp-flood",
-    "reflector",
+from repro import api
+from repro.api.specs import DetectorSpec, ExecutionSpec, SinkSpec
+from repro.errors import (
+    ArchiveError,
+    CodecError,
+    ConfigurationError,
+    FilterError,
+    RegistryError,
+    ReproError,
+    SpecError,
 )
+from repro.extraction.summarize import table_rows
+from repro.flows.record import FlowFeature, format_feature_value
+from repro.synth.presets import ANOMALY_NAMES
+from repro.system.alarmdb import AlarmStatus
+from repro.system.console import (
+    flow_drilldown_view,
+    render_table,
+    verdict_view,
+)
+
+__all__ = ["main", "build_parser", "EXIT_CODES"]
+
+#: Most-specific-first mapping of library errors to exit codes.
+EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (RegistryError, 3),
+    (SpecError, 2),
+    (ConfigurationError, 2),
+    (FilterError, 4),
+    (CodecError, 5),
+    (ArchiveError, 6),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The CLI exit code for a library error (1 when unmapped)."""
+    for cls, code in EXIT_CODES:
+        if isinstance(exc, cls):
+            return code
+    return 1
 
 
 def _workers_arg(text: str) -> int:
@@ -81,8 +96,57 @@ def _workers_arg(text: str) -> int:
     return value
 
 
+# -- parent parsers generated from the spec dataclasses -----------------------
+
+
+def _spec_parent(spec_cls: type, names: Sequence[str]) -> argparse.ArgumentParser:
+    """A parent parser whose flags come from spec dataclass fields.
+
+    Flag spelling, help text and defaults all derive from the field
+    definitions in :mod:`repro.api.specs` — single source of truth.
+    """
+    by_name = {f.name: f for f in fields(spec_cls)}
+    parent = argparse.ArgumentParser(add_help=False)
+    for name in names:
+        f = by_name[name]
+        meta = f.metadata
+        flag = meta.get("flag", "--" + f.name.replace("_", "-"))
+        default = (
+            f.default if f.default is not MISSING
+            else f.default_factory()  # type: ignore[misc]
+        )
+        kwargs: dict[str, Any] = {
+            "dest": f.name,
+            "default": default,
+            "help": meta.get("help"),
+        }
+        annotation = str(f.type)
+        if meta.get("cli_type") == "workers":
+            kwargs["type"] = _workers_arg
+        elif annotation.startswith("bool"):
+            kwargs["action"] = "store_true"
+        elif "float" in annotation:
+            kwargs["type"] = float
+        elif "int" in annotation:
+            kwargs["type"] = int
+        if "metavar" in meta and "action" not in kwargs:
+            kwargs["metavar"] = meta["metavar"]
+        parent.add_argument(flag, **kwargs)
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
+    workers = _spec_parent(ExecutionSpec, ["workers"])
+    geometry = _spec_parent(ExecutionSpec, [
+        "window_seconds", "lateness_seconds", "speedup", "chunk_rows",
+        "retain_windows", "dedup_window",
+    ])
+    triage_flag = _spec_parent(ExecutionSpec, ["triage"])
+    anonymize = _spec_parent(ExecutionSpec, ["anonymize"])
+    train = _spec_parent(DetectorSpec, ["train_bins"])
+    sinks = _spec_parent(SinkSpec, ["archive", "alarmdb"])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Anomaly extraction via frequent itemset mining "
@@ -99,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--sampling", type=int, default=1,
                        help="1/N packet sampling")
     synth.add_argument(
-        "--anomaly", action="append", default=[], choices=_ANOMALY_CHOICES,
+        "--anomaly", action="append", default=[], choices=ANOMALY_NAMES,
         help="inject an anomaly into the second-to-last bin (repeatable)",
     )
 
@@ -114,14 +178,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(srcIP/dstIP/srcPort/dstPort/proto)")
     query.add_argument("-n", type=int, default=10)
 
-    detect = sub.add_parser("detect", help="run the NetReflex-like detector")
+    detect = sub.add_parser(
+        "detect", help="run a trained detector over a trace",
+        parents=[train, workers],
+    )
     detect.add_argument("trace", help=".rpv5 trace path")
-    detect.add_argument("--train-bins", type=int, default=8,
-                        help="leading bins used as the training window")
-    detect.add_argument("--workers", type=_workers_arg, default=1,
-                        help="parallel workers for the detection sweep")
+    detect.add_argument("--detector", default="netreflex",
+                        help="detector registry name "
+                             f"({', '.join(api.detectors.names())})")
 
-    extract = sub.add_parser("extract", help="extract flows for a window")
+    extract = sub.add_parser(
+        "extract", help="extract flows for a window",
+        parents=[workers, anonymize],
+    )
     extract.add_argument("trace", help=".rpv5 trace path")
     extract.add_argument("--start", type=float, required=True)
     extract.add_argument("--end", type=float, required=True)
@@ -129,44 +198,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--hint", action="append", default=[],
         help="meta-data hint feature=value, e.g. dstIP=10.9.0.4",
     )
-    extract.add_argument("--anonymize", action="store_true")
-    extract.add_argument("--workers", type=_workers_arg, default=1,
-                         help="shards/workers for the mining step")
 
     stream = sub.add_parser(
-        "stream", help="online detection over a replayed trace"
+        "stream", help="online detection over a replayed trace",
+        parents=[train, workers, geometry, triage_flag, sinks],
     )
     stream.add_argument("trace", help=".rpv5 trace path")
-    stream.add_argument("--train-bins", type=int, default=8,
-                        help="leading bins used as the training window")
-    stream.add_argument("--window", type=float, default=None,
-                        help="window width in seconds "
-                             "(default: the trace bin width)")
-    stream.add_argument("--lateness", type=float, default=0.0,
-                        help="lateness horizon in seconds")
-    stream.add_argument("--speedup", type=float, default=0.0,
-                        help="replay speedup over recorded time; "
-                             "0 = max rate")
-    stream.add_argument("--chunk-rows", type=int, default=8192,
-                        help="flows per ingested chunk")
-    stream.add_argument("--retain-windows", type=int, default=16,
-                        help="windows kept in the live archive ring")
-    stream.add_argument("--dedup-window", type=float, default=None,
-                        help="suppress re-fired alarms within this many "
-                             "seconds (default: off)")
-    stream.add_argument("--triage", action="store_true",
-                        help="triage open alarms against the live ring "
-                             "as windows close")
-    stream.add_argument("--workers", type=_workers_arg, default=1,
-                        help="shards/workers for window accumulation "
-                             "and triage mining")
-    stream.add_argument("--archive", default=None, metavar="DIR",
-                        help="persist closed windows into this on-disk "
-                             "archive directory")
-    stream.add_argument("--alarmdb", default=None, metavar="PATH",
-                        help="sqlite alarm DB file (default: in-memory; "
-                             "a file survives the process for later "
-                             "'archive triage')")
+    stream.add_argument("--detector", default="netreflex",
+                        help="detector registry name "
+                             f"({', '.join(api.detectors.names())})")
+
+    run = sub.add_parser(
+        "run", help="run a declarative session from a TOML config"
+    )
+    run.add_argument("config", help="session config (TOML)")
+    run.add_argument("--workers", type=_workers_arg, default=None,
+                     help="override [execution] workers")
+    run.add_argument(
+        "--set", action="append", default=[], dest="overrides",
+        metavar="SECTION.KEY=VALUE",
+        help="override any spec field, e.g. --set source.path=t.rpv5 "
+             "(repeatable; values parse as TOML, else strings)",
+    )
 
     archive = sub.add_parser(
         "archive", help="manage a persistent on-disk flow archive"
@@ -221,195 +274,231 @@ def build_parser() -> argparse.ArgumentParser:
         "triage",
         help="triage open alarms in an alarm DB against the archive "
              "(the restart-recovery path)",
+        parents=[workers, anonymize],
     )
     a_triage.add_argument("--dir", required=True, help="archive directory")
     a_triage.add_argument("--alarmdb", required=True,
                           help="sqlite alarm DB file")
-    a_triage.add_argument("--workers", type=_workers_arg, default=1,
-                          help="shards/workers for the mining step")
-    a_triage.add_argument("--anonymize", action="store_true")
     return parser
 
 
-def _load_trace(path: str) -> FlowTrace:
-    # Chunked columnar decode: the trace is table-backed end to end.
-    return FlowTrace(read_binary_table(path),
-                     bin_seconds=DEFAULT_BIN_SECONDS, origin=0.0)
+# -- rendering helpers (shared by subcommands and `repro run`) ---------------
 
 
-def _cmd_synth(args: argparse.Namespace) -> int:
-    from repro.synth.anomalies import (
-        NetworkScan,
-        PortScan,
-        ReflectorAttack,
-        SynFlood,
-        UdpFlood,
+def _top_table(
+    pairs: list[tuple[int, int]], feature: FlowFeature
+) -> str:
+    rows = [("value", "flows")]
+    for value, count in pairs:
+        rows.append((format_feature_value(feature, value), str(count)))
+    return render_table(rows)
+
+
+def _triage_status(triaged, statuses=None) -> tuple[str, str]:
+    """(status, verdict text) a triage result settled at in the DB.
+
+    ``statuses`` is the ``RunResult.payload["statuses"]`` mapping read
+    back from the alarm DB (authoritative); the derivation below is
+    the fallback for the live stream callback, where the DB is still
+    mid-run.
+    """
+    if statuses and triaged.alarm.alarm_id in statuses:
+        return statuses[triaged.alarm.alarm_id]
+    status = (
+        AlarmStatus.VALIDATED if triaged.verdict.useful
+        else AlarmStatus.DISMISSED
     )
-    from repro.synth.background import BackgroundConfig
-    from repro.synth.scenario import Scenario
-    from repro.synth.topology import Topology
+    return status, triaged.verdict.summary()
 
-    topology = Topology()
-    scenario = Scenario(
-        topology=topology,
-        background=BackgroundConfig(flows_per_second=args.fps),
-        bin_count=args.bins,
-    )
-    target = topology.host_address(topology.pops[9], 3)
-    attacker = ip_to_int("203.191.64.165")
-    anomaly_bin = max(0, args.bins - 2)
-    factories = {
-        "port-scan": lambda i: PortScan(
-            f"port-scan-{i}", attacker + i, target, 20_000, src_port=55548
-        ),
-        "network-scan": lambda i: NetworkScan(
-            f"network-scan-{i}", attacker + i,
-            topology.pops[4].prefix.network, 15_000
-        ),
-        "syn-flood": lambda i: SynFlood(
-            f"syn-flood-{i}", target, 80, flow_count=15_000
-        ),
-        "udp-flood": lambda i: UdpFlood(
-            f"udp-flood-{i}", attacker + 64 + i, target,
-            packets_total=3_000_000
-        ),
-        "reflector": lambda i: ReflectorAttack(
-            f"reflector-{i}", target, reflector_count=300, flow_count=20_000
-        ),
-    }
-    for index, name in enumerate(args.anomaly):
-        scenario.add(factories[name](index), anomaly_bin)
-    labeled = scenario.build(seed=args.seed, sampling_rate=args.sampling)
-    packets = write_binary(labeled.trace, args.out, boot_time=0.0,
-                           sampling_rate=args.sampling)
+
+def _render_synth(spec: api.SessionSpec, result: api.RunResult) -> None:
     print(
-        f"wrote {len(labeled.trace)} flows ({packets} NetFlow v5 packets) "
-        f"to {args.out}"
+        f"wrote {result.stats['flows']} flows "
+        f"({result.stats['packets']} NetFlow v5 packets) "
+        f"to {result.payload['out']}"
     )
-    for truth in labeled.truths:
+    for truth in result.payload["truths"]:
         print(f"  injected {truth.anomaly_id}: {truth.kind.value}, "
               f"bin [{truth.start:.0f}, {truth.end:.0f})")
-    return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
-    store = FlowStore.from_trace(trace)
-    start = args.start if args.start is not None else trace.span[0]
-    end = args.end if args.end is not None else trace.span[1] + 1.0
-    flows = store.query_table(start, end, args.filter)
-    print(f"{len(flows)} flows match")
-    if args.top:
-        feature = FlowFeature(args.top)
-        from repro.flows.aggregate import top_n
-
-        rows = [("value", "flows")]
-        from repro.flows.record import format_feature_value
-
-        for value, count in top_n(flows, feature, n=args.n):
-            rows.append(
-                (format_feature_value(feature, value), str(count))
-            )
-        print(render_table(rows))
+def _render_query(spec: api.SessionSpec, result: api.RunResult) -> None:
+    flows = result.payload.get("flows")
+    scan = result.payload.get("scan")
+    if scan is not None:
+        print(
+            f"{result.stats['matched']} flows match "
+            f"(scanned {scan.scanned}/{scan.partitions} partitions, "
+            f"pruned {scan.pruned_time} by time, "
+            f"{scan.pruned_filter} by zone map)"
+        )
     else:
-        from repro.system.console import flow_drilldown_view
-
-        print(flow_drilldown_view(flows.to_records(), limit=args.n))
-    return 0
-
-
-def _cmd_detect(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
-    split = trace.origin + args.train_bins * trace.bin_seconds
-    training = trace.where(lambda f: f.start < split)
-    tail = trace.where(lambda f: f.start >= split)
-    if not training or not tail:
-        print("error: trace too short for the requested training window",
-              file=sys.stderr)
-        return 2
-    detector = NetReflexDetector()
-    detector.train(training)
-    if args.workers > 1:
-        from repro.parallel import parallel_detect
-
-        alarms = parallel_detect(detector, tail, workers=args.workers)
+        print(f"{result.stats['matched']} flows match")
+    if flows is None:
+        return
+    execution = spec.execution
+    if execution.top:
+        print(_top_table(result.payload["top"],
+                         result.payload["top_feature"]))
     else:
-        alarms = detector.detect(tail)
-    if not alarms:
+        print(flow_drilldown_view(flows.to_records(),
+                                  limit=execution.limit))
+
+
+def _render_batch(spec: api.SessionSpec, result: api.RunResult) -> None:
+    if not result.alarms:
         print("no alarms")
-        return 0
-    for alarm in alarms:
-        print(alarm.describe())
-    return 0
+        return
+    for alarm in result.alarms:
+        print(alarm.describe(spec.execution.anonymize))
+    statuses = result.payload.get("statuses")
+    for triaged in result.triage:
+        status, verdict = _triage_status(triaged, statuses)
+        print(f"  triage {triaged.alarm.alarm_id} -> {status}: {verdict}")
 
 
-def _parse_hint(text: str) -> MetadataItem:
-    name, _, raw = text.partition("=")
-    feature = FlowFeature(name.strip())
-    if feature in (FlowFeature.SRC_IP, FlowFeature.DST_IP):
-        value = ip_to_int(raw.strip())
-    else:
-        value = int(raw.strip())
-    return MetadataItem(feature=feature, value=value)
-
-
-def _cmd_extract(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
-    alarm = Alarm(
-        alarm_id="cli-alarm",
-        detector="cli",
-        start=args.start,
-        end=args.end,
-        score=1.0,
-        metadata=[_parse_hint(h) for h in args.hint],
-    )
-    interval = trace.between_table(alarm.start, alarm.end)
-    if not interval:
-        print("error: no flows in the requested window", file=sys.stderr)
-        return 2
-    baseline = trace.between_table(
-        alarm.start - 3 * trace.bin_seconds, alarm.start
-    )
-    extractor = AnomalyExtractor(workers=args.workers)
-    try:
-        report = extractor.extract(alarm, interval, baseline)
-    finally:
-        extractor.close()
-    print(render_table(table_rows(report, anonymize=args.anonymize)))
+def _render_extract(spec: api.SessionSpec, result: api.RunResult) -> None:
+    anonymize = spec.execution.anonymize
+    report = result.payload["report"]
+    print(render_table(table_rows(report, anonymize=anonymize)))
     print()
-    print(verdict_view(validate_report(report), anonymize=args.anonymize))
-    return 0
+    print(verdict_view(result.payload["verdict"], anonymize=anonymize))
 
 
-def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream import (
-        ReplayDriver,
-        ShardedStreamEngine,
-        StreamEngine,
-        streaming_adapter,
+def _render_stream(spec: api.SessionSpec, result: api.RunResult) -> None:
+    stats = result.stats
+    if "flush_error" in result.payload:
+        print(f"(flush after interrupt failed: "
+              f"{result.payload['flush_error']})", file=sys.stderr)
+    prefix = "interrupted after" if result.interrupted else "streamed"
+    # Replay timing exists only for bounded sources; a tailed stream
+    # summarises without it.
+    timing = (
+        f" in {stats['wall']:.2f}s ({stats['rate']:,.0f} flows/s, "
+        f"{stats['speedup']:,.0f}x recorded time)"
+        if "wall" in stats
+        else ""
     )
-
-    trace = _load_trace(args.trace)
-    split = trace.origin + args.train_bins * trace.bin_seconds
-    end = trace.span[1] + 1.0
-    if split >= end:
-        print("error: trace too short for the requested training window",
-              file=sys.stderr)
-        return 2
-    training = trace.where(lambda f: f.start < split)
-    tail = trace.between_table(split, end)
-    if not training or not len(tail):
-        print("error: trace too short for the requested training window",
-              file=sys.stderr)
-        return 2
-    detector = NetReflexDetector()
-    detector.train(training)
-    window_seconds = args.window or trace.bin_seconds
     print(
-        f"trained {detector.name} on {args.train_bins} bins "
-        f"({len(training)} flows); streaming {len(tail)} flows in "
-        f"{window_seconds:.0f}s windows"
+        f"{prefix} {stats['flows']} flows{timing}; "
+        f"{stats['windows']} windows, {stats['alarms']} alarms, "
+        f"{stats['merged']} merged, {stats['triaged']} triaged, "
+        f"{stats['late_dropped']} late-dropped"
     )
+    archived = result.payload.get("archived")
+    if archived is not None:
+        print(
+            f"archived {archived.rows} flows in {archived.partitions} "
+            f"partitions ({archived.payload_bytes:,} bytes) to "
+            f"{result.payload['archive_dir']}"
+        )
+
+
+def _render_triage(spec: api.SessionSpec, result: api.RunResult) -> None:
+    anonymize = spec.execution.anonymize
+    statuses = result.payload.get("statuses")
+    for triaged in result.triage:
+        status, verdict = _triage_status(triaged, statuses)
+        print(f"{triaged.alarm.alarm_id} -> {status}: {verdict}")
+        print(render_table(
+            table_rows(triaged.report, anonymize=anonymize)
+        ))
+    print(
+        f"triaged {result.stats['triaged']}/"
+        f"{result.stats['open_before']} open alarms against "
+        f"{result.payload['archive_dir']}; "
+        f"{result.stats['open']} remain open"
+    )
+
+
+def _render_ingest(spec: api.SessionSpec, result: api.RunResult) -> None:
+    stats = result.stats
+    sharded = (
+        f", {stats['shards']} shards" if stats["shards"] > 1 else ""
+    )
+    print(
+        f"ingested {stats['flows']} flows into {stats['partitions']} "
+        f"partitions ({stats['slices']} slices{sharded}) under "
+        f"{result.payload['archive_dir']}"
+    )
+
+
+def _render_ls(spec: api.SessionSpec, result: api.RunResult) -> None:
+    rows = [("partition", "slice", "shard", "flows", "window", "sealed")]
+    for part in result.payload["partitions"]:
+        zone = part.zone
+        rows.append((
+            part.path.name,
+            str(part.key.slice_index),
+            str(part.key.shard),
+            str(zone.rows),
+            f"[{zone.min_start:.0f}, {zone.max_start:.0f}]",
+            "yes" if zone.sealed else "no",
+        ))
+    print(render_table(rows))
+    print(f"{result.stats['partitions']} partitions")
+
+
+def _render_compact(spec: api.SessionSpec, result: api.RunResult) -> None:
+    stats = result.stats
+    print(
+        f"compacted {stats['groups']} groups: "
+        f"{stats['partitions_before']} -> {stats['partitions_after']} "
+        f"partitions, {stats['rows_compacted']} rows rewritten"
+    )
+
+
+def _render_stats(spec: api.SessionSpec, result: api.RunResult) -> None:
+    stats = result.payload["archived"]
+    reader = result.payload["reader"]
+    span = (
+        f"[{stats.span[0]:.0f}, {stats.span[1]:.0f}]"
+        if stats.span
+        else "-"
+    )
+    rows = [
+        ("partitions", str(stats.partitions)),
+        ("sealed", str(stats.sealed)),
+        ("slices", str(stats.slices)),
+        ("shards", str(stats.shards)),
+        ("flows", str(stats.rows)),
+        ("payload bytes", f"{stats.payload_bytes:,}"),
+        ("start span", span),
+        ("quarantined", str(stats.quarantined)),
+        ("rotation", f"{reader.slice_seconds:.0f}s"),
+    ]
+    print(render_table([("metric", "value")] + rows))
+
+
+_RENDERERS = {
+    "synth": _render_synth,
+    "query": _render_query,
+    "batch": _render_batch,
+    "extract": _render_extract,
+    "stream": _render_stream,
+    "triage": _render_triage,
+    "ingest": _render_ingest,
+    "ls": _render_ls,
+    "compact": _render_compact,
+    "stats": _render_stats,
+}
+
+
+def _stream_callbacks():
+    """(on_start, on_window) printers for live stream progress."""
+
+    def on_start(context: dict) -> None:
+        flows = context["flows"]
+        streaming = (
+            f"streaming {flows} flows" if flows is not None
+            else "tailing live"
+        )
+        print(
+            f"trained {context['detector']} on "
+            f"{context['train_source']} "
+            f"({context['train_flows']} flows); {streaming} in "
+            f"{context['window_seconds']:.0f}s windows"
+        )
 
     def on_window(result) -> None:
         w = result.window
@@ -422,229 +511,168 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         for merged_id in result.merged:
             print(f"  merged re-fire into {merged_id}")
         for triaged in result.triage:
-            status, verdict = engine.alarmdb.status_of(
-                triaged.alarm.alarm_id
-            )
+            status, verdict = _triage_status(triaged)
             print(f"  triage {triaged.alarm.alarm_id} -> {status}: "
                   f"{verdict}")
 
-    archive_writer = None
-    if args.archive:
-        from repro.archive import ArchiveWriter
+    return on_start, on_window
 
-        archive_writer = ArchiveWriter(
-            args.archive, slice_seconds=window_seconds, origin=split
-        )
-    engine_options = dict(
-        window_seconds=window_seconds,
-        origin=split,
-        lateness_seconds=args.lateness,
-        retain_windows=args.retain_windows,
-        dedup_window=args.dedup_window,
-        triage=args.triage,
-        on_window=on_window,
-        alarmdb=AlarmDatabase(args.alarmdb) if args.alarmdb else None,
-        archive=archive_writer,
+
+def _finish(
+    spec: api.SessionSpec,
+    result: api.RunResult,
+    summary: bool = False,
+) -> int:
+    """Render a run and map it to an exit code."""
+    renderer = _RENDERERS.get(result.mode)
+    if renderer is not None:
+        renderer(spec, result)
+    if summary:
+        print(result.summary())
+    return 130 if result.interrupted else 0
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    builder = (
+        api.session()
+        .scenario(bins=args.bins, fps=args.fps, seed=args.seed,
+                  sampling=args.sampling, anomalies=args.anomaly)
+        .synth(args.out)
     )
-    if args.workers > 1:
-        engine = ShardedStreamEngine(
-            [streaming_adapter(detector)],
+    return _finish(builder.spec(), builder.run())
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    builder = (
+        api.session()
+        .source("rpv5", path=args.trace)
+        .query(start=args.start, end=args.end, filter=args.filter,
+               top=args.top, limit=args.n)
+    )
+    return _finish(builder.spec(), builder.run())
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    builder = (
+        api.session()
+        .source("rpv5", path=args.trace)
+        .detect(args.detector, train_bins=args.train_bins)
+        .batch(workers=args.workers)
+    )
+    return _finish(builder.spec(), builder.run())
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    builder = (
+        api.session()
+        .source("rpv5", path=args.trace)
+        .extract(args.start, args.end, hints=args.hint,
+                 workers=args.workers, anonymize=args.anonymize)
+    )
+    return _finish(builder.spec(), builder.run())
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    on_start, on_window = _stream_callbacks()
+    builder = (
+        api.session()
+        .source("rpv5", path=args.trace)
+        .detect(args.detector, train_bins=args.train_bins)
+        .stream(
+            window_seconds=args.window_seconds,
             workers=args.workers,
-            **engine_options,
+            lateness_seconds=args.lateness_seconds,
+            retain_windows=args.retain_windows,
+            dedup_window=args.dedup_window,
+            speedup=args.speedup or None,
+            chunk_rows=args.chunk_rows,
+            triage=args.triage,
         )
-    else:
-        engine = StreamEngine(
-            [streaming_adapter(detector)], **engine_options
-        )
-    driver = ReplayDriver(
-        tail,
-        speedup=args.speedup or None,
-        chunk_rows=args.chunk_rows,
+        .on_start(on_start)
+        .on_window(on_window)
     )
-    interrupted = False
-    try:
-        try:
-            _, replay_stats = driver.replay(engine)
-            wall = replay_stats.wall_seconds
-            rate = replay_stats.flows_per_second
-            speedup = replay_stats.achieved_speedup
-        except KeyboardInterrupt:
-            # A paced replay is routinely cut short from the keyboard;
-            # seal what the watermark allows and summarise cleanly. The
-            # summary must come out even if sealing itself fails (e.g.
-            # a worker pool torn down by the same interrupt).
-            interrupted = True
-            try:
-                engine.finish()
-            except Exception as exc:  # pragma: no cover - defensive
-                print(f"(flush after interrupt failed: {exc})",
-                      file=sys.stderr)
-            wall = rate = speedup = float("nan")
-    finally:
-        engine.close()
-    stats = engine.stats
-    prefix = "interrupted after" if interrupted else "streamed"
-    timing = (
-        ""
-        if interrupted
-        else (
-            f" in {wall:.2f}s ({rate:,.0f} flows/s, "
-            f"{speedup:,.0f}x recorded time)"
-        )
-    )
-    print(
-        f"{prefix} {stats.flows} flows{timing}; "
-        f"{stats.windows_closed} windows, {stats.alarms} alarms, "
-        f"{stats.alarms_merged} merged, {stats.triaged} triaged, "
-        f"{stats.late_dropped} late-dropped"
-    )
-    if archive_writer is not None:
-        from repro.archive import ArchiveReader
+    if args.archive:
+        builder.archive(args.archive)
+    if args.alarmdb:
+        builder.alarmdb(args.alarmdb)
+    return _finish(builder.spec(), builder.run())
 
-        archived = ArchiveReader(args.archive).stats()
-        print(
-            f"archived {archived.rows} flows in {archived.partitions} "
-            f"partitions ({archived.payload_bytes:,} bytes) to "
-            f"{args.archive}"
-        )
-    return 130 if interrupted else 0
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = api.load_spec(args.config)
+    overrides: dict[str, dict[str, Any]] = {}
+    for item in args.overrides:
+        target, sep, raw = item.partition("=")
+        section, dot, key = target.partition(".")
+        if not sep or not dot or not section or not key:
+            raise SpecError(
+                f"--set needs SECTION.KEY=VALUE, got {item!r}"
+            )
+        try:
+            value = tomllib.loads(f"v = {raw}")["v"]
+        except tomllib.TOMLDecodeError:
+            value = raw
+        overrides.setdefault(section, {})[key.strip()] = value
+    if args.workers is not None:
+        overrides.setdefault("execution", {})["workers"] = args.workers
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    on_start = on_window = None
+    if spec.execution.mode == "stream":
+        on_start, on_window = _stream_callbacks()
+    result = api.Session(spec, on_window=on_window,
+                         on_start=on_start).run()
+    return _finish(spec, result, summary=True)
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:
-    from repro.archive import (
-        ArchiveReader,
-        ArchiveWriter,
-        compact_archive,
-    )
-
     if args.archive_command == "ingest":
-        from repro.flows.flowio import iter_binary_tables
-        from repro.parallel.partition import PartitionSpec
-
-        spec = None
-        if args.shards > 1:
-            spec = PartitionSpec(
-                shards=args.shards, key=args.key, seed=args.seed
+        options = {
+            key: value
+            for key, value in (
+                ("window", args.window),
+                ("shards", args.shards),
+                ("key", args.key),
+                ("seed", args.seed),
+                ("spill_rows", args.spill_rows),
             )
-        writer_options = dict(
-            slice_seconds=args.window, shard_spec=spec
+            if value is not None
+        }
+        builder = (
+            api.session()
+            .source("rpv5", path=args.trace)
+            .ingest(args.dir, **options)
         )
-        if args.spill_rows is not None:
-            writer_options["spill_rows"] = args.spill_rows
-        with ArchiveWriter(args.dir, **writer_options) as writer:
-            rows = writer.ingest_chunks(iter_binary_tables(args.trace))
-        stats = ArchiveReader(args.dir).stats()
-        sharded = f", {stats.shards} shards" if stats.shards > 1 else ""
-        print(
-            f"ingested {rows} flows into {stats.partitions} partitions "
-            f"({stats.slices} slices{sharded}) under {args.dir}"
-        )
-        return 0
-
-    reader = ArchiveReader(args.dir)
-
-    if args.archive_command == "ls":
-        rows = [("partition", "slice", "shard", "flows", "window",
-                 "sealed")]
-        for part in reader.partitions():
-            zone = part.zone
-            rows.append((
-                part.path.name,
-                str(part.key.slice_index),
-                str(part.key.shard),
-                str(zone.rows),
-                f"[{zone.min_start:.0f}, {zone.max_start:.0f}]",
-                "yes" if zone.sealed else "no",
-            ))
-        print(render_table(rows))
-        print(f"{len(reader.partitions())} partitions")
-        return 0
+        return _finish(builder.spec(), builder.run())
 
     if args.archive_command == "query":
-        stats = reader.stats()
-        if stats.span is None:
-            print("0 flows match")
-            return 0
-        start = args.start if args.start is not None else stats.span[0]
-        end = args.end if args.end is not None else stats.span[1] + 1.0
-        flows = reader.query_table(start, end, args.filter)
-        scan = reader.last_scan
-        print(
-            f"{len(flows)} flows match "
-            f"(scanned {scan.scanned}/{scan.partitions} partitions, "
-            f"pruned {scan.pruned_time} by time, "
-            f"{scan.pruned_filter} by zone map)"
+        builder = (
+            api.session()
+            .source("archive", path=args.dir)
+            .query(start=args.start, end=args.end, filter=args.filter,
+                   top=args.top, limit=args.n)
         )
-        if args.top:
-            from repro.flows.aggregate import top_n
-            from repro.flows.record import format_feature_value
+        return _finish(builder.spec(), builder.run())
 
-            feature = FlowFeature(args.top)
-            rows = [("value", "flows")]
-            for value, count in top_n(flows, feature, n=args.n):
-                rows.append(
-                    (format_feature_value(feature, value), str(count))
-                )
-            print(render_table(rows))
-        else:
-            from repro.system.console import flow_drilldown_view
-
-            print(flow_drilldown_view(flows.to_records(), limit=args.n))
-        return 0
-
-    if args.archive_command == "compact":
-        result = compact_archive(args.dir, reader=reader)
-        print(
-            f"compacted {result.groups} groups: "
-            f"{result.partitions_before} -> {result.partitions_after} "
-            f"partitions, {result.rows_compacted} rows rewritten"
+    if args.archive_command == "triage":
+        builder = (
+            api.session()
+            .source("archive", path=args.dir)
+            .triage(workers=args.workers, anonymize=args.anonymize)
+            .alarmdb(args.alarmdb)
         )
-        return 0
+        return _finish(builder.spec(), builder.run())
 
-    if args.archive_command == "stats":
-        stats = reader.stats()
-        span = (
-            f"[{stats.span[0]:.0f}, {stats.span[1]:.0f}]"
-            if stats.span
-            else "-"
-        )
-        rows = [
-            ("partitions", str(stats.partitions)),
-            ("sealed", str(stats.sealed)),
-            ("slices", str(stats.slices)),
-            ("shards", str(stats.shards)),
-            ("flows", str(stats.rows)),
-            ("payload bytes", f"{stats.payload_bytes:,}"),
-            ("start span", span),
-            ("quarantined", str(stats.quarantined)),
-            ("rotation", f"{reader.slice_seconds:.0f}s"),
-        ]
-        print(render_table([("metric", "value")] + rows))
-        return 0
-
-    # triage: resume the durable loop against the on-disk archive.
-    from repro.system.pipeline import ExtractionSystem
-
-    alarmdb = AlarmDatabase(args.alarmdb)
-    system = ExtractionSystem.from_archive(
-        reader, alarmdb=alarmdb, workers=args.workers
+    # ls / compact / stats: archive-management modes, same facade.
+    builder = (
+        api.session()
+        .source("archive", path=args.dir)
+        .mode(args.archive_command)
     )
-    open_before = alarmdb.count("open")
-    try:
-        results = system.process_open_alarms(skip_errors=True)
-    finally:
-        system.close()
-    for triaged in results:
-        status, verdict = alarmdb.status_of(triaged.alarm.alarm_id)
-        print(f"{triaged.alarm.alarm_id} -> {status}: {verdict}")
-        print(render_table(
-            table_rows(triaged.report, anonymize=args.anonymize)
-        ))
-    print(
-        f"triaged {len(results)}/{open_before} open alarms against "
-        f"{args.dir}; {alarmdb.count('open')} remain open"
-    )
-    return 0
+    return _finish(builder.spec(), builder.run())
 
 
 _COMMANDS = {
@@ -654,6 +682,7 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "stream": _cmd_stream,
     "archive": _cmd_archive,
+    "run": _cmd_run,
 }
 
 
@@ -665,7 +694,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -55,3 +55,33 @@ __all__ = [
     "fit_pca_model",
     "q_statistic_threshold",
 ]
+
+
+# -- session-facade registration ---------------------------------------------
+# The detectors register themselves by name so `repro.api` dispatches
+# on `[detector] name = "..."` instead of on concrete classes; plugins
+# use the same `detectors.register(...)` surface.
+
+from repro.api.registry import detectors as _detectors  # noqa: E402
+from repro.flows.record import FlowFeature as _FlowFeature  # noqa: E402
+
+
+def _make_netreflex(**options):
+    """``netreflex`` / ``pca``: the PCA-subspace volume+entropy detector."""
+    if "weightings" in options:
+        options["weightings"] = tuple(options["weightings"])
+    return NetReflexDetector(NetReflexConfig(**options))
+
+
+def _make_kl(**options):
+    """``kl``: the hashed-histogram Kullback-Leibler detector."""
+    if "features" in options:
+        options["features"] = tuple(
+            _FlowFeature(name) for name in options["features"]
+        )
+    return HistogramKLDetector(HistogramDetectorConfig(**options))
+
+
+_detectors.register("netreflex", _make_netreflex)
+_detectors.register("pca", _make_netreflex)
+_detectors.register("kl", _make_kl)

@@ -23,6 +23,8 @@ __all__ = [
     "ExtractionError",
     "AlarmDatabaseError",
     "ConfigurationError",
+    "SpecError",
+    "RegistryError",
     "EvaluationError",
 ]
 
@@ -96,6 +98,34 @@ class AlarmDatabaseError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid system configuration value."""
+
+
+class SpecError(ConfigurationError):
+    """An invalid :mod:`repro.api` session spec.
+
+    Attributes
+    ----------
+    field:
+        Dotted path of the offending spec field (e.g.
+        ``"execution.workers"`` or ``"source.path"``), or ``None`` when
+        the failure is not attributable to a single field. The CLI
+        surfaces it so a bad TOML config points straight at the line to
+        fix.
+    """
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        base = super().__str__()
+        if self.field:
+            return f"{self.field}: {base}"
+        return base
+
+
+class RegistryError(SpecError):
+    """A name not present in a :mod:`repro.api.registry` registry."""
 
 
 class EvaluationError(ReproError):

@@ -44,3 +44,13 @@ __all__ = [
     "Transaction",
     "TransactionSet",
 ]
+
+
+# -- session-facade registration ---------------------------------------------
+# The miners registry *adopts* ENGINES as its backing store: names
+# registered through `repro.api.registry.miners` (e.g. by plugins)
+# become valid `ExtendedAprioriConfig.engine` values and vice versa.
+
+from repro.api.registry import miners as _miners  # noqa: E402
+
+_miners.adopt(ENGINES)

@@ -30,6 +30,12 @@ backend, with byte-identical results.
 
 The streaming counterpart, :class:`~repro.stream.sharded.ShardedStreamEngine`,
 lives in :mod:`repro.stream` and builds on the same pieces.
+
+Callers normally reach this layer through the declarative facade: any
+:mod:`repro.api` spec with ``execution.workers > 1`` dispatches its
+heavy passes here (``parallel_detect``, the sharded extractor, the
+sharded stream engine) — the worker count is the only knob, results
+are byte-identical by the sharding contract.
 """
 
 from repro.parallel.detect import (

@@ -14,6 +14,11 @@ alarms into the :class:`~repro.system.alarmdb.AlarmDatabase`
 :meth:`~repro.system.pipeline.ExtractionSystem.process_open_alarms`
 against the live ring so Table-1 triage reports stream out while flows
 keep arriving.
+
+This is a supported *compatibility entry point*: the declarative
+facade (:mod:`repro.api`) composes it for ``mode = "stream"`` and is
+byte-identical to driving it directly — prefer ``repro.api.session()``
+/ ``Session.from_config`` for new code.
 """
 
 from __future__ import annotations

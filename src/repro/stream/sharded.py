@@ -25,6 +25,10 @@ so alarms, dedup decisions and triage results are identical for any
 shard count. Alarm insertion, re-fire dedup, live triage and stats
 are reused verbatim from the base engine; triage itself mines through
 the sharded extractor when ``workers > 1``.
+
+This is a supported *compatibility entry point*: the declarative
+facade (:mod:`repro.api`) selects it whenever a ``stream`` spec says
+``workers > 1`` — callers never need to pick the class themselves.
 """
 
 from __future__ import annotations

@@ -153,3 +153,62 @@ def _csv_header_line() -> str:
     buffer = io.StringIO()
     csv.writer(buffer).writerow(CSV_FIELDS)
     return buffer.getvalue()
+
+
+# -- session-facade registration ---------------------------------------------
+
+class TailSource:
+    """``tail`` source: follow a growing CSV flow log, unbounded.
+
+    Options: ``poll_seconds`` (default 0.2), ``idle_polls`` (stop after
+    this many consecutive empty polls; default: tail forever).
+    """
+
+    kind = "tail"
+    bounded = False
+
+    _KNOWN = ("poll_seconds", "idle_polls")
+
+    def __init__(self, spec) -> None:
+        from repro.errors import SpecError
+
+        self.spec = spec
+        if not spec.path:
+            raise SpecError("source kind 'tail' requires a path",
+                            field="source.path")
+        for key in spec.options:
+            if key not in self._KNOWN:
+                raise SpecError(
+                    f"unknown tail option {key!r}; expected "
+                    f"{', '.join(self._KNOWN)}",
+                    field=f"source.options.{key}",
+                )
+        self.path = spec.path
+        self.poll_seconds = float(spec.options.get("poll_seconds", 0.2))
+        idle = spec.options.get("idle_polls")
+        self.idle_polls = None if idle is None else int(idle)
+
+    def trace(self):
+        from repro.errors import SpecError
+
+        raise SpecError(
+            "source kind 'tail' is unbounded; it cannot back modes "
+            "that need the whole trace",
+            field="source.kind",
+        )
+
+    def chunks(self, chunk_rows: int) -> Iterator[FlowTable]:
+        return tail_csv_chunks(
+            self.path,
+            chunk_rows=chunk_rows,
+            poll_seconds=self.poll_seconds,
+            idle_polls=self.idle_polls,
+        )
+
+    def describe(self) -> str:
+        return f"tail {self.path}"
+
+
+from repro.api.registry import sources as _sources  # noqa: E402
+
+_sources.register("tail", TailSource)

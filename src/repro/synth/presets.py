@@ -1,0 +1,148 @@
+"""Preset scenario construction — the ``scenario`` session source.
+
+The CLI's ``synth`` command and the facade's ``scenario`` source share
+one recipe: a GEANT-like topology with background traffic and named
+anomalies injected into the second-to-last bin. The anomaly menu is a
+plain dict, so the names double as the CLI's ``--anomaly`` choices and
+the config file's ``anomalies = [...]`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.flows.addresses import ip_to_int
+from repro.synth.anomalies import (
+    NetworkScan,
+    PortScan,
+    ReflectorAttack,
+    SynFlood,
+    UdpFlood,
+)
+from repro.synth.background import BackgroundConfig
+from repro.synth.scenario import LabeledTrace, Scenario
+from repro.synth.topology import Topology
+
+__all__ = ["ANOMALY_NAMES", "build_preset_scenario", "ScenarioSource"]
+
+_ATTACKER = ip_to_int("203.191.64.165")
+
+
+def _factories(topology: Topology):
+    target = topology.host_address(topology.pops[9], 3)
+    return {
+        "port-scan": lambda i: PortScan(
+            f"port-scan-{i}", _ATTACKER + i, target, 20_000,
+            src_port=55548,
+        ),
+        "network-scan": lambda i: NetworkScan(
+            f"network-scan-{i}", _ATTACKER + i,
+            topology.pops[4].prefix.network, 15_000,
+        ),
+        "syn-flood": lambda i: SynFlood(
+            f"syn-flood-{i}", target, 80, flow_count=15_000,
+        ),
+        "udp-flood": lambda i: UdpFlood(
+            f"udp-flood-{i}", _ATTACKER + 64 + i, target,
+            packets_total=3_000_000,
+        ),
+        "reflector": lambda i: ReflectorAttack(
+            f"reflector-{i}", target, reflector_count=300,
+            flow_count=20_000,
+        ),
+    }
+
+
+#: Names accepted by ``--anomaly`` and ``[source] options.anomalies``.
+ANOMALY_NAMES = tuple(sorted(_factories(Topology())))
+
+
+def build_preset_scenario(
+    bins: int = 6,
+    fps: float = 25.0,
+    anomalies: tuple[str, ...] | list[str] = (),
+) -> Scenario:
+    """The standard labelled scenario behind ``repro synth``.
+
+    ``anomalies`` are injected, in order, into the second-to-last bin.
+    Unknown names raise :class:`SpecError` listing the menu.
+    """
+    topology = Topology()
+    scenario = Scenario(
+        topology=topology,
+        background=BackgroundConfig(flows_per_second=fps),
+        bin_count=bins,
+    )
+    factories = _factories(topology)
+    anomaly_bin = max(0, bins - 2)
+    for index, name in enumerate(anomalies):
+        if name not in factories:
+            raise SpecError(
+                f"unknown anomaly {name!r}; expected one of "
+                f"{', '.join(ANOMALY_NAMES)}",
+                field="source.options.anomalies",
+            )
+        scenario.add(factories[name](index), anomaly_bin)
+    return scenario
+
+
+class ScenarioSource:
+    """``scenario`` source: a rendered synthetic labelled epoch.
+
+    Options: ``bins`` (default 6), ``fps`` (background flows/second,
+    default 25), ``seed`` (default 0), ``sampling`` (1/N packet
+    sampling, default 1), ``anomalies`` (list of
+    :data:`ANOMALY_NAMES`). Rendering happens once, lazily; the same
+    labelled trace backs batch, stream and synth modes.
+    """
+
+    kind = "scenario"
+    bounded = True
+
+    _KNOWN = ("bins", "fps", "seed", "sampling", "anomalies")
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        options: Mapping[str, Any] = spec.options
+        for key in options:
+            if key not in self._KNOWN:
+                raise SpecError(
+                    f"unknown scenario option {key!r}; expected "
+                    f"{', '.join(self._KNOWN)}",
+                    field=f"source.options.{key}",
+                )
+        self.bins = int(options.get("bins", 6))
+        self.fps = float(options.get("fps", 25.0))
+        self.seed = int(options.get("seed", 0))
+        self.sampling_rate = int(options.get("sampling", 1))
+        self.anomalies = tuple(options.get("anomalies", ()))
+        self._labeled: LabeledTrace | None = None
+
+    def labeled(self) -> LabeledTrace:
+        """The rendered labelled trace (cached)."""
+        if self._labeled is None:
+            scenario = build_preset_scenario(
+                bins=self.bins, fps=self.fps, anomalies=self.anomalies
+            )
+            self._labeled = scenario.build(
+                seed=self.seed, sampling_rate=self.sampling_rate
+            )
+        return self._labeled
+
+    def trace(self):
+        return self.labeled().trace
+
+    def chunks(self, chunk_rows: int):
+        from repro.stream.sources import table_chunks
+
+        return table_chunks(self.trace().table, chunk_rows=chunk_rows)
+
+    def describe(self) -> str:
+        suffix = f" + {', '.join(self.anomalies)}" if self.anomalies else ""
+        return f"scenario({self.bins} bins{suffix})"
+
+
+from repro.api.registry import sources as _sources  # noqa: E402
+
+_sources.register("scenario", ScenarioSource)

@@ -11,6 +11,12 @@ Wires the pieces of the paper's architecture together::
 extractor. Detectors push alarms in; the operator (or the automated
 triage loop of :meth:`process_open_alarms`) pulls reports and verdicts
 out. This is the object the examples and the Figure-1 benchmark drive.
+
+This is a supported *compatibility entry point*: the declarative
+facade (:mod:`repro.api`) composes it for the ``batch`` and ``triage``
+modes and is byte-identical to driving it directly — prefer
+``repro.api.session()`` / ``Session.from_config`` for new code (see
+ARCHITECTURE.md, "Public API contract").
 """
 
 from __future__ import annotations

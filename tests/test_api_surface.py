@@ -1,0 +1,79 @@
+"""API-surface snapshot: the public contract cannot drift silently.
+
+``repro.__all__`` and ``repro.api.__all__`` are the semver surface
+(ARCHITECTURE.md, "Public API contract"). Adding, renaming or removing
+a name is allowed — but it must be *deliberate*: update the snapshot
+below in the same change, and treat removals/renames as breaking.
+"""
+
+import repro
+import repro.api
+
+REPRO_API_SURFACE = frozenset({
+    "Registry",
+    "detectors",
+    "miners",
+    "sources",
+    "FlowSource",
+    "SourceSpec",
+    "DetectorSpec",
+    "MiningSpec",
+    "ExecutionSpec",
+    "SinkSpec",
+    "SessionSpec",
+    "EXECUTION_MODES",
+    "Session",
+    "SessionBuilder",
+    "RunResult",
+    "session",
+    "parse_hint",
+    "load_spec",
+})
+
+REPRO_SURFACE = frozenset({
+    "session",
+    "Session",
+    "SessionBuilder",
+    "RunResult",
+    "SourceSpec",
+    "DetectorSpec",
+    "MiningSpec",
+    "ExecutionSpec",
+    "SinkSpec",
+    "SessionSpec",
+    "Alarm",
+    "MetadataItem",
+    "Detector",
+    "FlowRecord",
+    "FlowFeature",
+    "FlowTable",
+    "FlowTrace",
+    "ExtractionReport",
+    "TriageResult",
+    "AnomalyKind",
+    "ReproError",
+    "SpecError",
+    "RegistryError",
+    "__version__",
+})
+
+
+def test_repro_api_all_matches_snapshot():
+    assert frozenset(repro.api.__all__) == REPRO_API_SURFACE
+
+
+def test_repro_all_matches_snapshot():
+    assert frozenset(repro.__all__) == REPRO_SURFACE
+
+
+def test_every_exported_name_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_execution_modes_are_dispatchable():
+    # Every declared mode has a Session runner behind it.
+    for mode in repro.api.EXECUTION_MODES:
+        assert hasattr(repro.api.Session, f"_run_{mode}"), mode

@@ -49,8 +49,9 @@ class TestQuery:
         assert "value" in out
 
     def test_bad_filter_is_handled(self, trace_path, capsys):
+        # Filter errors map to their own exit code (see cli.EXIT_CODES).
         code = main(["query", str(trace_path), "--filter", "bogus 5"])
-        assert code == 1
+        assert code == 4
         assert "error:" in capsys.readouterr().err
 
 
@@ -158,3 +159,126 @@ class TestDetect:
     def test_too_short_trace(self, trace_path, capsys):
         code = main(["detect", str(trace_path), "--train-bins", "10"])
         assert code == 2
+
+
+class TestRun:
+    """The declarative `repro run config.toml` face."""
+
+    @pytest.fixture()
+    def long_trace(self, tmp_path):
+        path = tmp_path / "long.rpv5"
+        code = main([
+            "synth", "--out", str(path), "--bins", "12", "--fps", "8",
+            "--seed", "7", "--anomaly", "port-scan",
+        ])
+        assert code == 0
+        return path
+
+    def _config(self, tmp_path, trace, mode_lines):
+        config = tmp_path / "session.toml"
+        config.write_text(
+            "[source]\n"
+            'kind = "rpv5"\n'
+            f'path = "{trace}"\n\n'
+            "[detector]\n"
+            "train_bins = 8\n\n"
+            "[execution]\n"
+            + mode_lines
+        )
+        return config
+
+    def test_run_batch_config(self, long_trace, tmp_path, capsys):
+        config = self._config(tmp_path, long_trace,
+                              'mode = "batch"\ntriage = true\n')
+        code = main(["run", str(config)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "session batch ok:" in out
+        assert "triage" in out
+
+    def test_run_matches_subcommand(self, long_trace, tmp_path, capsys):
+        code = main(["stream", str(long_trace), "--train-bins", "8",
+                     "--triage", "--dedup-window", "600"])
+        assert code == 0
+        subcommand = capsys.readouterr().out
+        config = self._config(
+            tmp_path, long_trace,
+            'mode = "stream"\ndedup_window = 600\ntriage = true\n',
+        )
+        code = main(["run", str(config)])
+        assert code == 0
+        via_config = capsys.readouterr().out
+        # Identical apart from the timing line and the trailing summary.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if not line.startswith(("streamed ", "session "))
+        ]
+        assert strip(via_config) == strip(subcommand)
+
+    def test_run_set_overrides(self, long_trace, tmp_path, capsys):
+        config = self._config(tmp_path, long_trace, 'mode = "batch"\n')
+        code = main([
+            "run", str(config), "--workers", "2",
+            "--set", "detector.train_bins=9",
+        ])
+        assert code == 0
+        assert "session batch ok:" in capsys.readouterr().out
+
+    def test_run_unknown_detector_exits_3(
+        self, long_trace, tmp_path, capsys
+    ):
+        config = self._config(tmp_path, long_trace, 'mode = "batch"\n')
+        code = main(["run", str(config), "--set", "detector.name=nope"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "detector.name" in err and "netreflex" in err
+
+    def test_run_bad_config_exits_2(self, tmp_path, capsys):
+        config = tmp_path / "bad.toml"
+        config.write_text("[execution]\nmode = 'batch'\n")
+        assert main(["run", str(config)]) == 2
+        config.write_text("not toml [ at all")
+        assert main(["run", str(config)]) == 2
+        assert main(["run", str(tmp_path / "missing.toml")]) == 2
+
+    def test_run_unknown_spec_key_names_field(self, tmp_path, capsys):
+        config = tmp_path / "typo.toml"
+        config.write_text(
+            '[source]\nkind = "rpv5"\npath = "t.rpv5"\n\n'
+            "[execution]\nwrokers = 4\n"
+        )
+        assert main(["run", str(config)]) == 2
+        assert "execution.wrokers" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_error_hierarchy_maps_to_distinct_codes(self):
+        from repro.cli import exit_code_for
+        from repro.errors import (
+            ArchiveError,
+            CodecError,
+            FilterSyntaxError,
+            RegistryError,
+            SpecError,
+            StoreError,
+        )
+
+        assert exit_code_for(RegistryError("x")) == 3
+        assert exit_code_for(SpecError("x")) == 2
+        assert exit_code_for(FilterSyntaxError("x")) == 4
+        assert exit_code_for(CodecError("x")) == 5
+        assert exit_code_for(ArchiveError("x")) == 6
+        assert exit_code_for(StoreError("x")) == 1
+
+    def test_help_text_is_shared_across_subcommands(self, capsys):
+        # Parent parsers are generated from the spec dataclasses, so
+        # the same flag renders the same help everywhere.
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        texts = {}
+        for command in ("detect", "stream"):
+            sub = parser._subparsers._group_actions[0].choices[command]
+            texts[command] = sub.format_help()
+        assert "shards/workers for the heavy passes" in texts["detect"]
+        assert "shards/workers for the heavy passes" in texts["stream"]
