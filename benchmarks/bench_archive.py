@@ -12,12 +12,18 @@ temporary archive directory:
   is the tentpole criterion: pruning must make the narrow query at
   least 10x faster than the full archive scan at 1M flows;
 * **count fast path** — aggregate counters for an archived window
-  answered from zone maps alone (zero payload reads).
+  answered from zone maps alone (zero payload reads);
+* **planner pushdown** — unfiltered count and top-N over an archived
+  window answered from sidecar metadata (zone-map stats and feature
+  indexes) with *zero payload bytes read*, timed against the same
+  questions forced through payload scans and asserted identical.
 
 Run:  PYTHONPATH=src python benchmarks/bench_archive.py [--flows N]
 
 Writes ``BENCH_archive.json``; ``--check`` gates on the 10x pruning
-floor and on reads being served as zero-copy mmap views.
+floor, on reads being served as zero-copy mmap views, and on the
+pushdown answers reading zero payload bytes while matching the scan
+answers.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.archive import ArchiveReader, ArchiveWriter  # noqa: E402
+from repro.flows.record import FlowFeature  # noqa: E402
 from repro.flows.store import FlowStore  # noqa: E402
 from repro.flows.table import FlowTable  # noqa: E402
 from repro.stream.sources import table_chunks  # noqa: E402
@@ -123,6 +130,36 @@ def run(flows: int, repeats: int) -> dict:
         )
         speedup = full_s / pruned_s if pruned_s > 0 else float("inf")
 
+        # Planner pushdown: aggregate questions answered from sidecar
+        # metadata alone — zero payload bytes read — vs the same
+        # questions forced through payload scans.
+        count_plan = pruned.last_plan
+        top = FlowFeature.DST_PORT
+        top_ranked = pruned.top_feature_values(*window, top, n=5)
+        top_plan = pruned.last_plan
+        top_s = _median_seconds(
+            lambda: pruned.top_feature_values(*window, top, n=5),
+            repeats,
+        )
+        count_scan_s = _median_seconds(
+            lambda: full.count(*window), repeats
+        )
+        top_scan_s = _median_seconds(
+            lambda: full.top_feature_values(*window, top, n=5),
+            repeats,
+        )
+        pushdown_match = (
+            pruned.count(*window) == full.count(*window)
+            and top_ranked == full.top_feature_values(*window, top, n=5)
+        )
+        pushdown_zero_reads = (
+            count_plan is not None
+            and count_plan.pushdown == "zone-map-stats"
+            and count_plan.payload_bytes_read == 0
+            and top_plan.pushdown == "feature-index"
+            and top_plan.payload_bytes_read == 0
+        )
+
         stats = pruned.stats()
         return {
             "benchmark": "archive_pruned_vs_full_scan",
@@ -150,10 +187,28 @@ def run(flows: int, repeats: int) -> dict:
                 "results_match": match,
             },
             "count_fast_path_ms": count_s * 1e3,
+            "planner_pushdown": {
+                "count_pushdown": count_plan.pushdown,
+                "count_payload_bytes_read":
+                    count_plan.payload_bytes_read,
+                "count_ms": count_s * 1e3,
+                "count_scan_ms": count_scan_s * 1e3,
+                "top_feature": str(top),
+                "top_pushdown": top_plan.pushdown,
+                "top_payload_bytes_read": top_plan.payload_bytes_read,
+                "top_ms": top_s * 1e3,
+                "top_scan_ms": top_scan_s * 1e3,
+                "results_match": pushdown_match,
+                "zero_payload_reads": pushdown_zero_reads,
+            },
             "zero_copy_mmap": zero_copy,
             "acceptance_min_speedup": ACCEPTANCE_SPEEDUP,
             "acceptance_pass": bool(
-                speedup >= ACCEPTANCE_SPEEDUP and zero_copy and match
+                speedup >= ACCEPTANCE_SPEEDUP
+                and zero_copy
+                and match
+                and pushdown_match
+                and pushdown_zero_reads
             ),
         }
     finally:
@@ -197,6 +252,19 @@ def main() -> int:
     print(
         f"count fast path: {results['count_fast_path_ms']:.3f}ms; "
         f"zero-copy mmap: {results['zero_copy_mmap']}"
+    )
+    push = results["planner_pushdown"]
+    print(
+        f"pushdown count [{push['count_pushdown']}]: "
+        f"{push['count_ms']:.3f}ms vs scan "
+        f"{push['count_scan_ms']:.3f}ms "
+        f"({push['count_payload_bytes_read']} payload bytes read)"
+    )
+    print(
+        f"pushdown top {push['top_feature']} "
+        f"[{push['top_pushdown']}]: {push['top_ms']:.3f}ms vs scan "
+        f"{push['top_scan_ms']:.3f}ms "
+        f"({push['top_payload_bytes_read']} payload bytes read)"
     )
     print(f"wrote {args.out}")
     if args.check and not results["acceptance_pass"]:

@@ -378,7 +378,8 @@ class Session:
             from repro.parallel import parallel_detect
 
             alarms = parallel_detect(
-                detector, tail, workers=execution.workers
+                detector, tail, workers=execution.workers,
+                ipc=execution.ipc,
             )
         else:
             alarms = detector.detect(tail)
@@ -401,6 +402,7 @@ class Session:
                     alarmdb=db,
                     config=config,
                     workers=execution.workers,
+                    ipc=execution.ipc,
                 )
                 try:
                     system.ingest(alarms)
@@ -598,7 +600,8 @@ class Session:
         adapters = [streaming_adapter(detector)]
         if execution.workers > 1:
             engine: StreamEngine = ShardedStreamEngine(
-                adapters, workers=execution.workers, **engine_options
+                adapters, workers=execution.workers,
+                ipc=execution.ipc, **engine_options
             )
         else:
             engine = StreamEngine(adapters, **engine_options)
@@ -687,6 +690,7 @@ class Session:
                 alarmdb=db,
                 config=self._system_config(),
                 workers=execution.workers,
+                ipc=execution.ipc,
             )
             open_before = db.count("open")
             tick = time.perf_counter()
@@ -725,6 +729,7 @@ class Session:
         execution = self.spec.execution
         source = self._source()
         scan = None
+        reader = None
         if hasattr(source, "reader"):
             reader = source.reader()
             store = reader
@@ -745,21 +750,68 @@ class Session:
                              payload={"flows": None})
         start = execution.start if execution.start is not None else span[0]
         end = execution.end if execution.end is not None else span[1] + 1.0
+        # Aggregate surfaces (--stats, archive --top) go through the
+        # planner: counts answer from zone-map sums, rankings from
+        # feature-index sidecars — no flow rows are materialised when
+        # the pushdown applies. An archive reader with workers > 1
+        # additionally fans unavoidable payload scans over a pool.
+        executor = None
+        if reader is not None and execution.workers > 1:
+            from repro.parallel.executor import ShardExecutor
+
+            executor = ShardExecutor(
+                execution.workers, ipc=execution.ipc
+            )
+            reader.executor = executor
+        payload: dict[str, Any] = {}
         tick = time.perf_counter()
-        flows = store.query_table(start, end, execution.filter)
+        try:
+            if execution.stats:
+                counts = store.count(start, end, execution.filter)
+                matched = counts.flows
+                payload.update({"flows": None, "stats": counts})
+            elif execution.top and reader is not None:
+                matched = store.count(
+                    start, end, execution.filter
+                ).flows
+                feature = _feature(execution.top, "execution.top")
+                payload.update({
+                    "flows": None,
+                    "top_feature": feature,
+                    "top": store.top_feature_values(
+                        start, end, feature,
+                        n=execution.limit,
+                        flow_filter=execution.filter,
+                    ),
+                })
+            else:
+                flows = store.query_table(
+                    start, end, execution.filter
+                )
+                matched = len(flows)
+                payload["flows"] = flows
+                if execution.top:
+                    from repro.flows.aggregate import top_n
+
+                    feature = _feature(execution.top, "execution.top")
+                    payload["top_feature"] = feature
+                    payload["top"] = top_n(
+                        flows, feature, n=execution.limit
+                    )
+        finally:
+            if executor is not None:
+                executor.close()
+                reader.executor = None
         timings = {"query": time.perf_counter() - tick}
         if hasattr(store, "last_scan"):
             scan = store.last_scan
-        payload: dict[str, Any] = {"flows": flows, "scan": scan}
-        if execution.top:
-            from repro.flows.aggregate import top_n
-
-            feature = _feature(execution.top, "execution.top")
-            payload["top_feature"] = feature
-            payload["top"] = top_n(flows, feature, n=execution.limit)
+        payload["scan"] = scan if payload.get("flows") is not None \
+            else None
+        if execution.explain and hasattr(store, "last_plan"):
+            payload["plan"] = store.last_plan
         return RunResult(
             mode="query",
-            stats={"matched": len(flows)},
+            stats={"matched": matched},
             timings=timings,
             payload=payload,
         )
@@ -974,10 +1026,11 @@ class SessionBuilder:
         except TypeError as exc:
             raise SpecError(str(exc), field="execution") from None
 
-    def batch(self, workers: int = 1,
-              triage: bool = False) -> "SessionBuilder":
+    def batch(self, workers: int = 1, triage: bool = False,
+              ipc: str = "auto") -> "SessionBuilder":
         """Bounded batch detection (serial, or sharded via workers)."""
-        return self._mode("batch", workers=workers, triage=triage)
+        return self._mode("batch", workers=workers, triage=triage,
+                          ipc=ipc)
 
     def stream(
         self,
@@ -990,6 +1043,7 @@ class SessionBuilder:
         speedup: float | None = None,
         chunk_rows: int = 8192,
         triage: bool = False,
+        ipc: str = "auto",
     ) -> "SessionBuilder":
         """Windowed-stream execution (sharded when ``workers > 1``)."""
         return self._mode(
@@ -1002,28 +1056,41 @@ class SessionBuilder:
             speedup=speedup,
             chunk_rows=chunk_rows,
             triage=triage,
+            ipc=ipc,
         )
 
     def extract(self, start: float, end: float,
                 hints: tuple | list = (), workers: int = 1,
-                anonymize: bool = False) -> "SessionBuilder":
+                anonymize: bool = False,
+                ipc: str = "auto") -> "SessionBuilder":
         """Ad-hoc extraction of one ``[start, end)`` window."""
         return self._mode("extract", start=start, end=end,
                           hints=tuple(hints), workers=workers,
-                          anonymize=anonymize)
+                          anonymize=anonymize, ipc=ipc)
 
-    def triage(self, workers: int = 1,
-               anonymize: bool = False) -> "SessionBuilder":
+    def triage(self, workers: int = 1, anonymize: bool = False,
+               ipc: str = "auto") -> "SessionBuilder":
         """Archive-resume triage of open alarms."""
-        return self._mode("triage", workers=workers, anonymize=anonymize)
+        return self._mode("triage", workers=workers,
+                          anonymize=anonymize, ipc=ipc)
 
     def query(self, start: float | None = None,
               end: float | None = None,
               filter: str | None = None,  # noqa: A002 - mirrors nfdump
-              top: str | None = None, limit: int = 10) -> "SessionBuilder":
-        """nfdump-style filtered query / top-N."""
+              top: str | None = None, limit: int = 10,
+              stats: bool = False, explain: bool = False,
+              workers: int = 1, ipc: str = "auto") -> "SessionBuilder":
+        """nfdump-style filtered query / top-N / aggregate stats.
+
+        ``stats=True`` answers with counters only (planner pushdown —
+        no rows are materialised when sidecars cover the window);
+        ``explain=True`` attaches the planner's decision record;
+        ``workers > 1`` fans unavoidable archive payload scans over a
+        worker pool using the ``ipc`` transport.
+        """
         return self._mode("query", start=start, end=end, filter=filter,
-                          top=top, limit=limit)
+                          top=top, limit=limit, stats=stats,
+                          explain=explain, workers=workers, ipc=ipc)
 
     def synth(self, out: str) -> "SessionBuilder":
         """Render the scenario source to an ``.rpv5`` trace."""

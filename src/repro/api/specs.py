@@ -224,6 +224,15 @@ class ExecutionSpec:
         "flag": "--chunk-rows",
         "help": "flows per ingested chunk",
     })
+    #: Worker-pool transport for sharded passes: ``auto`` picks
+    #: shared-memory descriptors where the platform supports them and
+    #: falls back to binary frames; ``shm``/``frames`` force a path.
+    ipc: str = field(default="auto", metadata={
+        "flag": "--ipc",
+        "metavar": "MODE",
+        "help": "worker IPC transport: auto, shm (shared-memory "
+                "descriptors, required) or frames (forced fallback)",
+    })
     #: Triage open alarms (batch: after detection; stream: as windows
     #: close against the live ring).
     triage: bool = field(default=False, metadata={
@@ -239,6 +248,11 @@ class ExecutionSpec:
     top: str | None = None
     #: Row/value limit for ``query`` output.
     limit: int = 10
+    #: ``query`` mode: answer with aggregate counters only (planner
+    #: pushdown — no flow rows are materialised).
+    stats: bool = False
+    #: ``query`` mode: include the planner's decision record.
+    explain: bool = False
     #: Meta-data hints ``feature=value`` for ``extract`` mode.
     hints: tuple = ()
     #: Render report IPs anonymized (``X.191.64.165`` style).
@@ -268,6 +282,11 @@ class ExecutionSpec:
         _require(self.speedup is None or self.speedup > 0,
                  "execution.speedup",
                  f"must be positive: {self.speedup!r}")
+        from repro.parallel.executor import IPC_MODES
+
+        _require(self.ipc in IPC_MODES, "execution.ipc",
+                 f"unknown ipc mode {self.ipc!r}; expected one of "
+                 f"{', '.join(IPC_MODES)}")
         if not isinstance(self.hints, (list, tuple)):
             raise SpecError(
                 f"expected a list of 'feature=value' strings: "

@@ -82,9 +82,9 @@ def compact_archive(
     }
     for _key, path in reader.layout.partition_files():
         if path.name in superseded:
-            sidecar = reader.layout.zone_path(path)
             path.unlink(missing_ok=True)
-            sidecar.unlink(missing_ok=True)
+            reader.layout.zone_path(path).unlink(missing_ok=True)
+            reader.layout.fidx_path(path).unlink(missing_ok=True)
     grouped = _groups(reader.partitions())
     groups = 0
     merged_rows = 0
@@ -113,9 +113,13 @@ def compact_archive(
             # over these files — drop our references first so the
             # mapping is not the only thing keeping deleted inodes
             # alive longer than needed.
-            sidecar = reader.layout.zone_path(partition.path)
             partition.path.unlink(missing_ok=True)
-            sidecar.unlink(missing_ok=True)
+            reader.layout.zone_path(partition.path).unlink(
+                missing_ok=True
+            )
+            reader.layout.fidx_path(partition.path).unlink(
+                missing_ok=True
+            )
     reader.refresh()
     return CompactionResult(
         groups=groups,

@@ -40,18 +40,23 @@ from __future__ import annotations
 import json
 import os
 import re
-import struct
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ArchiveError, CodecError
+from repro.flows.shmem import (
+    ROW_HEADER_SIZE,
+    pack_row_header,
+    unpack_row_header,
+)
 from repro.flows.table import FLOW_SCHEMA_VERSION
 
 __all__ = [
     "MANIFEST_NAME",
     "PARTITION_SUFFIX",
     "ZONE_SUFFIX",
+    "FEATURE_INDEX_SUFFIX",
     "QUARANTINE_DIR",
     "PARTITION_HEADER_SIZE",
     "PartitionKey",
@@ -65,13 +70,16 @@ __all__ = [
 MANIFEST_NAME = "MANIFEST.json"
 PARTITION_SUFFIX = ".flows"
 ZONE_SUFFIX = ".zone.json"
+FEATURE_INDEX_SUFFIX = ".fidx.json"
 QUARANTINE_DIR = "quarantine"
 _TMP_PREFIX = ".tmp-"
 
-#: Partition header: magic, schema version, flags (reserved), row
-#: count, padded to 32 bytes. Little-endian like the payload.
-_PARTITION_HEADER = struct.Struct("<4sHHQ16x")
-PARTITION_HEADER_SIZE = _PARTITION_HEADER.size
+#: Partition header: the shared zero-copy row-block header of
+#: :mod:`repro.flows.shmem` (magic, schema version, reserved flags,
+#: row count, padded to 32 bytes, little-endian like the payload) —
+#: one codepath validates archive partitions and shm segments alike,
+#: distinguished only by the magic.
+PARTITION_HEADER_SIZE = ROW_HEADER_SIZE
 _PARTITION_MAGIC = b"RPAR"
 
 _NAME_RE = re.compile(
@@ -97,9 +105,7 @@ class PartitionKey:
 
 def pack_partition_header(rows: int) -> bytes:
     """The 32-byte header preceding ``rows`` raw ``FLOW_DTYPE`` rows."""
-    return _PARTITION_HEADER.pack(
-        _PARTITION_MAGIC, FLOW_SCHEMA_VERSION, 0, rows
-    )
+    return pack_row_header(rows, magic=_PARTITION_MAGIC)
 
 
 def unpack_partition_header(header: bytes, source: object = "") -> int:
@@ -110,18 +116,16 @@ def unpack_partition_header(header: bytes, source: object = "") -> int:
     ``FLOW_DTYPE`` revision must never be silently misparsed) and on a
     short header.
     """
-    where = f"{source}: " if source else ""
-    if len(header) < PARTITION_HEADER_SIZE:
-        raise CodecError(f"{where}truncated partition header")
-    magic, version, _flags, rows = _PARTITION_HEADER.unpack_from(header)
-    if magic != _PARTITION_MAGIC:
-        raise CodecError(f"{where}bad partition magic {magic!r}")
-    if version != FLOW_SCHEMA_VERSION:
-        raise CodecError(
-            f"{where}partition carries flow schema version {version}; "
-            f"this build reads version {FLOW_SCHEMA_VERSION}"
+    try:
+        return unpack_row_header(
+            header, magic=_PARTITION_MAGIC, source=source
         )
-    return int(rows)
+    except CodecError as exc:
+        raise CodecError(
+            str(exc).replace("row-block", "partition").replace(
+                "row block", "partition"
+            )
+        ) from None
 
 
 def partition_file_name(key: PartitionKey) -> str:
@@ -203,6 +207,20 @@ class ArchiveLayout:
             name[: -len(PARTITION_SUFFIX)] + ZONE_SUFFIX
         )
 
+    def fidx_path(self, partition_path: Path) -> Path:
+        """Feature-index sidecar path of a partition data file.
+
+        Optional: archives written before the planner (or with feature
+        indexing off) simply have no ``.fidx.json`` files, and readers
+        fall back to payload scans.
+        """
+        name = partition_path.name
+        if not name.endswith(PARTITION_SUFFIX):
+            raise ArchiveError(f"not a partition file: {partition_path}")
+        return partition_path.parent / (
+            name[: -len(PARTITION_SUFFIX)] + FEATURE_INDEX_SUFFIX
+        )
+
     def ensure_root(self) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -265,11 +283,11 @@ class ArchiveLayout:
         note = target.with_name(target.name + ".reason")
         note.write_text(reason + "\n")
         if path.name.endswith(PARTITION_SUFFIX):
-            sidecar = self.zone_path(path)
-            if sidecar.exists():
-                os.replace(
-                    sidecar, self.quarantine_dir / sidecar.name
-                )
+            for sidecar in (self.zone_path(path), self.fidx_path(path)):
+                if sidecar.exists():
+                    os.replace(
+                        sidecar, self.quarantine_dir / sidecar.name
+                    )
         return target
 
     # -- manifest ----------------------------------------------------------

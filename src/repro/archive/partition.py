@@ -29,7 +29,9 @@ import numpy as np
 
 from repro.archive.index import ZoneMap
 from repro.archive.layout import (
+    FEATURE_INDEX_SUFFIX,
     PARTITION_HEADER_SIZE,
+    PARTITION_SUFFIX,
     PartitionKey,
     unpack_partition_header,
 )
@@ -37,6 +39,9 @@ from repro.errors import ArchiveError
 from repro.flows.table import FLOW_DTYPE, FlowTable
 
 __all__ = ["Partition", "load_partition"]
+
+#: Sentinel distinguishing "not loaded yet" from "absent".
+_FIDX_UNLOADED = object()
 
 
 @dataclass
@@ -47,6 +52,7 @@ class Partition:
     path: Path
     zone: ZoneMap
     _table: FlowTable | None = field(default=None, repr=False)
+    _fidx: object = field(default=_FIDX_UNLOADED, repr=False)
 
     @property
     def rows(self) -> int:
@@ -74,6 +80,25 @@ class Partition:
             )
             self._table = FlowTable(data)
         return self._table
+
+    def feature_index(self):
+        """The partition's ``.fidx.json`` sidecar, lazily loaded.
+
+        Returns a :class:`~repro.archive.planner.FeatureIndex`, or
+        ``None`` when the sidecar is missing or unreadable (archives
+        written before the planner, or with indexing off) — the
+        planner then falls back to scanning the payload, which gives
+        the same answer.
+        """
+        if self._fidx is _FIDX_UNLOADED:
+            from repro.archive.planner import load_feature_index
+
+            name = self.path.name
+            fidx = self.path.parent / (
+                name[: -len(PARTITION_SUFFIX)] + FEATURE_INDEX_SUFFIX
+            )
+            self._fidx = load_feature_index(fidx)
+        return self._fidx
 
 
 def load_partition(

@@ -1,0 +1,394 @@
+"""Query planning over an archive: sidecar indexes, pushdown, fan-out.
+
+This module is the archive's second index layer and the brain behind
+:class:`~repro.archive.reader.ArchiveReader`'s aggregate queries:
+
+* :class:`FeatureIndex` — the ``.fidx.json`` sidecar written next to
+  each partition: the **full** per-feature value histogram (value →
+  flow count and packet sum) for the five mining features. Where the
+  zone map answers *"could this partition match?"*, the feature index
+  answers *"what would counting this partition produce?"* — exactly,
+  without touching a payload byte.
+* **Pushdown** — ``count`` answers from zone-map sums and
+  ``top_feature_values`` from merged feature indexes whenever the
+  query's window covers the candidate partitions and no row-level
+  filter applies. Histogram merging is integer addition over sorted
+  value arrays, so the pushed-down ranking is byte-identical to
+  scanning the rows (the equivalence suite asserts it).
+* **Parallel scans** — when payloads *must* be read and the reader
+  holds a :class:`~repro.parallel.executor.ShardExecutor`, per-
+  partition scan tasks fan out as ``(path, rows, window, filter)``
+  tuples: each worker opens the partition's mmap directly and returns
+  a tiny aggregate, so zero row bytes cross the pool in either
+  direction.
+* :class:`QueryPlan` — what the last query decided, partition by
+  partition class: pruned, answered from sidecars, or scanned.
+  ``repro archive query --explain`` renders it.
+
+The planner is an *optimizer*, never an oracle: every pushdown path
+has a row-scan fallback producing identical bytes, and a missing or
+unreadable ``.fidx.json`` (archives written before this module, or
+with indexing disabled) simply disqualifies the pushdown.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.archive.layout import PARTITION_HEADER_SIZE
+from repro.errors import ArchiveError
+from repro.flows.filter import FilterNode, compile_mask
+from repro.flows.record import FLOW_FEATURES, FlowFeature
+from repro.flows.table import FLOW_DTYPE, FlowTable
+
+__all__ = [
+    "FEATURE_INDEX_VERSION",
+    "FEATURE_INDEX_COLUMNS",
+    "FeatureIndex",
+    "QueryPlan",
+    "feature_column",
+    "merge_histograms",
+    "ranked_from_histogram",
+]
+
+FEATURE_INDEX_VERSION = 1
+
+#: Columns indexed per partition — the five mining features
+#: (:data:`~repro.flows.record.FLOW_FEATURES` column names).
+FEATURE_INDEX_COLUMNS = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "proto",
+)
+
+_COLUMN_OF_FEATURE: dict[FlowFeature, str] = dict(
+    zip(FLOW_FEATURES, FEATURE_INDEX_COLUMNS)
+)
+
+
+def feature_column(feature: FlowFeature) -> str:
+    """Table column backing one mining feature (always indexed)."""
+    return _COLUMN_OF_FEATURE[feature]
+
+
+class FeatureIndex:
+    """Per-feature value histograms of one partition (the ``.fidx``).
+
+    For every indexed column: the sorted distinct values, the flow
+    count per value and the packet sum per value — enough to answer
+    any flows- or packets-weighted ranking over the partition without
+    reading it. Exact integers throughout; merging indexes is
+    addition.
+    """
+
+    __slots__ = ("rows", "_columns")
+
+    def __init__(
+        self,
+        rows: int,
+        columns: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> None:
+        self.rows = rows
+        self._columns = columns
+
+    @classmethod
+    def from_table(cls, table: FlowTable) -> "FeatureIndex":
+        columns: dict = {}
+        packets = table.packets
+        for name in FEATURE_INDEX_COLUMNS:
+            values, inverse = np.unique(
+                table.column(name), return_inverse=True
+            )
+            flows = np.bincount(inverse, minlength=len(values))
+            packet_sums = np.zeros(len(values), dtype=np.int64)
+            np.add.at(packet_sums, inverse, packets)
+            columns[name] = (
+                values,
+                flows.astype(np.int64),
+                packet_sums,
+            )
+        return cls(rows=len(table), columns=columns)
+
+    def histogram(
+        self, column: str, by_packets: bool = False
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(values, counts)`` of one column, or ``None`` if absent."""
+        entry = self._columns.get(column)
+        if entry is None:
+            return None
+        values, flows, packet_sums = entry
+        return values, (packet_sums if by_packets else flows)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": FEATURE_INDEX_VERSION,
+                "rows": self.rows,
+                "columns": {
+                    name: {
+                        "values": values.tolist(),
+                        "flows": flows.tolist(),
+                        "packets": packet_sums.tolist(),
+                    }
+                    for name, (
+                        values, flows, packet_sums,
+                    ) in self._columns.items()
+                },
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str, source: object = "") -> "FeatureIndex":
+        where = f"{source}: " if source else ""
+        try:
+            data = json.loads(text)
+            version = int(data["version"])
+            if version != FEATURE_INDEX_VERSION:
+                raise ArchiveError(
+                    f"{where}feature index version {version}; this "
+                    f"build reads version {FEATURE_INDEX_VERSION}"
+                )
+            columns = {}
+            for name, entry in data["columns"].items():
+                values = np.asarray(entry["values"], dtype=np.int64)
+                flows = np.asarray(entry["flows"], dtype=np.int64)
+                packets = np.asarray(entry["packets"], dtype=np.int64)
+                if not (len(values) == len(flows) == len(packets)):
+                    raise ArchiveError(
+                        f"{where}ragged feature index for {name!r}"
+                    )
+                columns[name] = (values, flows, packets)
+            return cls(rows=int(data["rows"]), columns=columns)
+        except ArchiveError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ArchiveError(
+                f"{where}corrupt feature index: {exc}"
+            ) from exc
+
+
+def load_feature_index(path: Path) -> FeatureIndex | None:
+    """Read one ``.fidx.json``; ``None`` when missing or unreadable.
+
+    The index is an optimization, never the truth — a partition whose
+    sidecar is absent (pre-planner archive) or corrupt simply falls
+    back to a payload scan, which produces identical results.
+    """
+    try:
+        text = path.read_text()
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        return FeatureIndex.from_json(text, source=path)
+    except ArchiveError:
+        return None
+
+
+# -- histogram merging (the pushdown's arithmetic) ---------------------------
+
+def merge_histograms(
+    parts: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``(values, counts)`` histograms into one sorted histogram.
+
+    Integer addition over value-aligned counts: merging per-partition
+    histograms equals histogramming the concatenated rows, which is
+    what makes pushdown answers byte-identical to scans.
+    """
+    parts = [part for part in parts if len(part[0])]
+    if not parts:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    if len(parts) == 1:
+        values, counts = parts[0]
+        return values, counts.astype(np.int64)
+    all_values = np.concatenate([values for values, _ in parts])
+    merged_values, inverse = np.unique(all_values, return_inverse=True)
+    merged_counts = np.zeros(len(merged_values), dtype=np.int64)
+    np.add.at(
+        merged_counts,
+        inverse,
+        np.concatenate([counts for _, counts in parts]),
+    )
+    return merged_values, merged_counts
+
+
+def ranked_from_histogram(
+    values: np.ndarray, counts: np.ndarray, n: int
+) -> list[tuple[int, int]]:
+    """Top-``n`` with the store ranking semantics over a histogram.
+
+    Mirrors :func:`repro.flows.aggregate.ranked_feature_values`
+    exactly — descending count, ties by the value's string rendering —
+    so a pushed-down ranking and a scanned ranking are the same list.
+    """
+    ranked = sorted(
+        zip(values.tolist(), counts.tolist()),
+        key=lambda kv: (-kv[1], str(kv[0])),
+    )
+    return [(int(v), int(c)) for v, c in ranked[:n]]
+
+
+# -- worker-side scan tasks ---------------------------------------------------
+
+def _open_rows(path: str, rows: int) -> FlowTable:
+    """Worker-side mmap of one partition's payload (zero-copy)."""
+    data = np.memmap(
+        path,
+        dtype=FLOW_DTYPE,
+        mode="r",
+        offset=PARTITION_HEADER_SIZE,
+        shape=(rows,),
+    )
+    return FlowTable(data)
+
+
+def _scan_mask(
+    table: FlowTable,
+    start: float,
+    end: float,
+    node: FilterNode | None,
+) -> np.ndarray:
+    starts = table.start
+    mask = (starts >= start) & (starts < end)
+    if node is not None:
+        mask &= compile_mask(node)(table)
+    return mask
+
+
+def count_rows(
+    table: FlowTable,
+    start: float,
+    end: float,
+    node: FilterNode | None,
+) -> tuple[int, int, int, float, float] | None:
+    """``(flows, packets, bytes, lo, hi)`` of one table's matching rows."""
+    mask = _scan_mask(table, start, end, node)
+    if not mask.any():
+        return None
+    selected = table.select(mask)
+    return (
+        len(selected),
+        selected.total_packets(),
+        selected.total_bytes(),
+        float(selected.start.min()),
+        float(selected.end.max()),
+    )
+
+
+def histogram_rows(
+    table: FlowTable,
+    start: float,
+    end: float,
+    node: FilterNode | None,
+    column: str,
+    by_packets: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(values, counts)`` of one table's matching rows."""
+    mask = _scan_mask(table, start, end, node)
+    empty = np.array([], dtype=np.int64)
+    if not mask.any():
+        return empty, empty
+    selected = table.select(mask)
+    values, inverse = np.unique(
+        selected.column(column), return_inverse=True
+    )
+    if by_packets:
+        counts = np.zeros(len(values), dtype=np.int64)
+        np.add.at(counts, inverse, selected.packets)
+    else:
+        counts = np.bincount(inverse, minlength=len(values))
+    return values, counts.astype(np.int64)
+
+
+def scan_count_task(
+    path: str,
+    rows: int,
+    start: float,
+    end: float,
+    node: FilterNode | None,
+) -> tuple[int, int, int, float, float] | None:
+    """Aggregate one partition: ``(flows, packets, bytes, lo, hi)``.
+
+    Runs on a worker: opens the partition mmap directly (no rows cross
+    the pool inbound) and returns five numbers (none cross outbound).
+    """
+    return count_rows(_open_rows(path, rows), start, end, node)
+
+
+def scan_histogram_task(
+    path: str,
+    rows: int,
+    start: float,
+    end: float,
+    node: FilterNode | None,
+    column: str,
+    by_packets: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One partition's ``(values, counts)`` histogram after masking.
+
+    The worker reduction behind the top-N fallback: whole rows stay in
+    the worker; only the (much smaller) histogram returns.
+    """
+    return histogram_rows(
+        _open_rows(path, rows), start, end, node, column, by_packets
+    )
+
+
+# -- the plan ----------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """What the planner decided for one query — ``--explain``'s body."""
+
+    #: Which query surface ran: ``rows`` / ``count`` / ``top``.
+    query: str
+    partitions: int
+    pruned_time: int
+    pruned_filter: int
+    #: Partitions answered entirely from sidecar metadata.
+    sidecar_answered: int
+    #: Partitions whose payload was actually read.
+    scanned: int
+    payload_bytes_read: int
+    #: ``zone-map-stats`` / ``feature-index`` when an aggregate was
+    #: answered without payload reads; ``None`` for row scans.
+    pushdown: str | None = None
+    #: Scan tasks fanned out over the executor (0 = in-process).
+    parallel_tasks: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return self.pruned_time + self.pruned_filter
+
+    def render(self) -> str:
+        """Human-readable plan, one decision per line."""
+        lines = [
+            f"plan: {self.query}",
+            f"  partitions:      {self.partitions}",
+            f"  pruned:          {self.pruned} "
+            f"({self.pruned_time} by time, "
+            f"{self.pruned_filter} by zone map)",
+            f"  sidecar answers: {self.sidecar_answered}",
+            f"  payload scans:   {self.scanned} "
+            f"({self.payload_bytes_read:,} bytes read)",
+        ]
+        if self.pushdown:
+            lines.append(f"  pushdown:        {self.pushdown}")
+        if self.parallel_tasks:
+            lines.append(
+                f"  parallel tasks:  {self.parallel_tasks} "
+                f"(workers mmap partitions directly)"
+            )
+        return "\n".join(lines)

@@ -42,6 +42,16 @@ import numpy as np
 
 from repro.archive.layout import ArchiveLayout
 from repro.archive.partition import Partition, load_partition
+from repro.archive.planner import (
+    QueryPlan,
+    count_rows,
+    feature_column,
+    histogram_rows,
+    merge_histograms,
+    ranked_from_histogram,
+    scan_count_task,
+    scan_histogram_task,
+)
 from repro.errors import ArchiveError, CodecError, StoreError
 from repro.flows.filter import FilterNode, compile_mask, parse_filter
 from repro.flows.record import FlowFeature, FlowRecord
@@ -49,6 +59,7 @@ from repro.flows.table import FLOW_DTYPE, FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
 
 if TYPE_CHECKING:
+    from repro.parallel.executor import ShardExecutor
     from repro.parallel.partition import PartitionSpec
 
 __all__ = ["ScanStats", "ArchiveStats", "ArchiveReader"]
@@ -64,6 +75,8 @@ class ScanStats:
     scanned: int
     rows_scanned: int
     rows_returned: int
+    #: Payload bytes of the partitions actually opened for rows.
+    payload_bytes: int = 0
 
     @property
     def pruned(self) -> int:
@@ -92,21 +105,32 @@ class ArchiveReader:
         root: str | Path,
         use_zone_maps: bool = True,
         auto_refresh: bool = True,
+        executor: "ShardExecutor | None" = None,
     ) -> None:
         """``use_zone_maps=False`` disables pruning (every query scans
         every partition) — the full-scan baseline for the benchmark and
         the equivalence tests. ``auto_refresh`` re-scans the directory
         before each query so a reader following a live writer (the
-        streaming triage loop) sees newly sealed windows."""
+        streaming triage loop) sees newly sealed windows.
+
+        ``executor`` (caller-owned, never closed here) lets aggregate
+        queries that must read payloads fan their per-partition scans
+        over a :class:`~repro.parallel.executor.ShardExecutor`: each
+        task ships as a ``(path, rows, window, filter)`` tuple and the
+        worker opens the partition's mmap directly — zero row bytes
+        cross the pool in either direction."""
         self.layout = ArchiveLayout(root)
         self.use_zone_maps = use_zone_maps
         self.auto_refresh = auto_refresh
+        self.executor = executor
         self._partitions: list[Partition] = []
         self._loaded: dict[str, Partition] = {}
         self._quarantined = 0
         self._dir_stamp: int | None = None
         self._geometry: tuple[float, float] | None = None
         self.last_scan = ScanStats(0, 0, 0, 0, 0, 0)
+        #: Planner decision record of the last query (``--explain``).
+        self.last_plan: QueryPlan | None = None
         self.refresh()
 
     # -- directory scan ----------------------------------------------------
@@ -245,6 +269,7 @@ class ArchiveReader:
                 if entry.is_file()
                 and not entry.name.endswith(".reason")
                 and not entry.name.endswith(".zone.json")
+                and not entry.name.endswith(".fidx.json")
             )
         return ArchiveStats(
             partitions=len(parts),
@@ -273,7 +298,7 @@ class ArchiveReader:
         through as whole zero-copy views.
         """
         pruned_time = pruned_filter = scanned = 0
-        rows_scanned = rows_returned = 0
+        rows_scanned = rows_returned = payload_bytes = 0
         selected: list[FlowTable] = []
         for partition in self._partitions:
             zone = partition.zone
@@ -288,6 +313,7 @@ class ArchiveReader:
             scanned += 1
             table = partition.table()
             rows_scanned += len(table)
+            payload_bytes += partition.payload_bytes
             if (
                 mask_of is None
                 and self.use_zone_maps
@@ -314,6 +340,16 @@ class ArchiveReader:
             scanned=scanned,
             rows_scanned=rows_scanned,
             rows_returned=rows_returned,
+            payload_bytes=payload_bytes,
+        )
+        self.last_plan = QueryPlan(
+            query="rows",
+            partitions=len(self._partitions),
+            pruned_time=pruned_time,
+            pruned_filter=pruned_filter,
+            sidecar_answered=0,
+            scanned=scanned,
+            payload_bytes_read=payload_bytes,
         )
         return selected
 
@@ -372,7 +408,10 @@ class ArchiveReader:
 
         Unfiltered, fully covered partitions are answered from their
         zone maps alone (row/packet/byte sums) — counting an archived
-        window costs zero payload reads.
+        window costs zero payload reads; :attr:`last_plan` records
+        ``pushdown="zone-map-stats"`` when *every* surviving partition
+        answered that way. Partitions that do need a payload scan fan
+        out over :attr:`executor` when one is attached.
         """
         if end < start:
             return TraceStats(
@@ -383,40 +422,65 @@ class ArchiveReader:
         filter_node, mask_of = self._compile(flow_filter)
         flows = packets = byte_total = 0
         lo, hi = np.inf, -np.inf
+        pruned_time = pruned_filter = sidecar = 0
+        needs_scan: list[Partition] = []
         for partition in self._partitions:
             zone = partition.zone
-            if self.use_zone_maps and (
-                not zone.overlaps_window(start, end)
-                or (
-                    filter_node is not None
-                    and not zone.may_match(filter_node)
-                )
-            ):
+            if self.use_zone_maps:
+                if not zone.overlaps_window(start, end):
+                    pruned_time += 1
+                    continue
+                if filter_node is not None and \
+                        not zone.may_match(filter_node):
+                    pruned_filter += 1
+                    continue
+                if mask_of is None and \
+                        zone.covered_by_window(start, end):
+                    sidecar += 1
+                    flows += zone.rows
+                    packets += zone.sum_packets
+                    byte_total += zone.sum_bytes
+                    lo = min(lo, zone.min_start)
+                    hi = max(hi, zone.max_end)
+                    continue
+            needs_scan.append(partition)
+        parallel = 0
+        if self._fan_out(needs_scan):
+            parallel = len(needs_scan)
+            parts = self.executor.map_items(
+                scan_count_task,
+                [
+                    (str(p.path), p.rows, start, end, filter_node)
+                    for p in needs_scan
+                ],
+            )
+        else:
+            parts = [
+                count_rows(p.table(), start, end, filter_node)
+                for p in needs_scan
+            ]
+        for part in parts:
+            if part is None:
                 continue
-            if (
-                mask_of is None
-                and self.use_zone_maps
-                and zone.covered_by_window(start, end)
-            ):
-                flows += zone.rows
-                packets += zone.sum_packets
-                byte_total += zone.sum_bytes
-                lo = min(lo, zone.min_start)
-                hi = max(hi, zone.max_end)
-                continue
-            table = partition.table()
-            starts = table.start
-            mask = (starts >= start) & (starts < end)
-            if mask_of is not None:
-                mask &= mask_of(table)
-            if not mask.any():
-                continue
-            rows = table.select(mask)
-            flows += len(rows)
-            packets += rows.total_packets()
-            byte_total += rows.total_bytes()
-            lo = min(lo, float(rows.start.min()))
-            hi = max(hi, float(rows.end.max()))
+            part_flows, part_packets, part_bytes, part_lo, part_hi = part
+            flows += part_flows
+            packets += part_packets
+            byte_total += part_bytes
+            lo = min(lo, part_lo)
+            hi = max(hi, part_hi)
+        self.last_plan = QueryPlan(
+            query="count",
+            partitions=len(self._partitions),
+            pruned_time=pruned_time,
+            pruned_filter=pruned_filter,
+            sidecar_answered=sidecar,
+            scanned=len(needs_scan),
+            payload_bytes_read=sum(
+                p.payload_bytes for p in needs_scan
+            ),
+            pushdown="zone-map-stats" if not needs_scan else None,
+            parallel_tasks=parallel,
+        )
         if flows == 0:
             return TraceStats(
                 flows=0, packets=0, bytes=0, start=start, end=start
@@ -438,21 +502,117 @@ class ArchiveReader:
         by_packets: bool = False,
         flow_filter: str | FilterNode | None = None,
     ) -> list[tuple[int, int]]:
-        """Vectorized top-``n`` feature values over a pruned scan.
+        """Top-``n`` feature values, pushed down when sidecars allow.
 
-        Shares :func:`~repro.flows.aggregate.ranked_feature_values`
-        with ``FlowStore.top_feature_values`` so the two rankings are
-        identical by construction.
+        Three tiers, cheapest that applies wins, identical answers by
+        construction (histogram merging is integer addition and the
+        ranking replicates
+        :func:`~repro.flows.aggregate.ranked_feature_values` — count
+        descending, ties by the value's string rendering):
+
+        1. **feature-index pushdown** — no row filter, zone maps on,
+           every surviving partition fully covered by the window and
+           carrying a ``.fidx.json`` sidecar: merge the per-partition
+           histograms and rank. Zero payload bytes read.
+        2. **parallel histogram scan** — an :attr:`executor` fans
+           per-partition masked histograms over workers; only the
+           small ``(values, counts)`` arrays return.
+        3. **serial histogram scan** — same reduction in-process.
         """
         if n <= 0:
             raise StoreError(f"n must be positive: {n!r}")
         if end < start:
             return []
-        from repro.flows.aggregate import ranked_feature_values
+        if self.auto_refresh:
+            self.refresh()
+        filter_node, mask_of = self._compile(flow_filter)
+        column = feature_column(feature)
+        pruned_time = pruned_filter = 0
+        candidates: list[Partition] = []
+        for partition in self._partitions:
+            zone = partition.zone
+            if self.use_zone_maps:
+                if not zone.overlaps_window(start, end):
+                    pruned_time += 1
+                    continue
+                if filter_node is not None and \
+                        not zone.may_match(filter_node):
+                    pruned_filter += 1
+                    continue
+            candidates.append(partition)
+        plan = dict(
+            query="top",
+            partitions=len(self._partitions),
+            pruned_time=pruned_time,
+            pruned_filter=pruned_filter,
+            sidecar_answered=0,
+            scanned=0,
+            payload_bytes_read=0,
+        )
+        if not candidates:
+            self.last_plan = QueryPlan(**plan)
+            return []
+        if (
+            mask_of is None
+            and self.use_zone_maps
+            and all(
+                p.zone.covered_by_window(start, end)
+                for p in candidates
+            )
+        ):
+            indexes = [p.feature_index() for p in candidates]
+            if all(idx is not None and column in idx for idx in indexes):
+                values, counts = merge_histograms(
+                    [idx.histogram(column, by_packets) for idx in indexes]
+                )
+                self.last_plan = QueryPlan(
+                    **{
+                        **plan,
+                        "sidecar_answered": len(candidates),
+                        "pushdown": "feature-index",
+                    }
+                )
+                return ranked_from_histogram(values, counts, n)
+        parallel = 0
+        if self._fan_out(candidates):
+            parallel = len(candidates)
+            parts = self.executor.map_items(
+                scan_histogram_task,
+                [
+                    (
+                        str(p.path), p.rows, start, end,
+                        filter_node, column, by_packets,
+                    )
+                    for p in candidates
+                ],
+            )
+        else:
+            parts = [
+                histogram_rows(
+                    p.table(), start, end,
+                    filter_node, column, by_packets,
+                )
+                for p in candidates
+            ]
+        values, counts = merge_histograms(parts)
+        self.last_plan = QueryPlan(
+            **{
+                **plan,
+                "scanned": len(candidates),
+                "payload_bytes_read": sum(
+                    p.payload_bytes for p in candidates
+                ),
+                "parallel_tasks": parallel,
+            }
+        )
+        return ranked_from_histogram(values, counts, n)
 
-        return ranked_feature_values(
-            self.query_table(start, end, flow_filter),
-            feature, n, by_packets=by_packets,
+    def _fan_out(self, parts: list[Partition]) -> bool:
+        """Whether a payload scan should go through the executor."""
+        return (
+            self.executor is not None
+            and self.executor.uses_processes
+            and len(parts) > 1
         )
 
     def to_trace(

@@ -66,6 +66,7 @@ class ArchiveWriter:
         origin: float | None = None,
         shard_spec: "PartitionSpec | None" = None,
         spill_rows: int = DEFAULT_SPILL_ROWS,
+        feature_indexes: bool = True,
     ) -> None:
         """``slice_seconds=None`` (the default) adopts an existing
         archive's rotation width, or :data:`DEFAULT_BIN_SECONDS` for a
@@ -84,6 +85,10 @@ class ArchiveWriter:
         self.layout.ensure_root()
         self.shard_spec = shard_spec
         self.spill_rows = spill_rows
+        #: Emit ``.fidx.json`` feature-index sidecars (the planner's
+        #: pushdown source). Off saves ingest CPU; queries still work,
+        #: they just always scan payloads for top-N aggregates.
+        self.feature_indexes = feature_indexes
         existing = self.layout.read_manifest()
         if existing is not None:
             manifest_width, manifest_origin = existing
@@ -214,6 +219,17 @@ class ArchiveWriter:
         self.layout.atomic_write(
             self.layout.zone_path(path), zone.to_json().encode()
         )
+        if self.feature_indexes:
+            from repro.archive.planner import FeatureIndex
+
+            # Third and last: the feature-index sidecar. Strictly
+            # optional (readers treat a missing .fidx as "no pushdown,
+            # scan the payload"), so a crash here still leaves a fully
+            # servable partition.
+            self.layout.atomic_write(
+                self.layout.fidx_path(path),
+                FeatureIndex.from_table(table).to_json().encode(),
+            )
         return path
 
     # -- buffered ingest ----------------------------------------------------

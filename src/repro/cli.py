@@ -138,6 +138,7 @@ def _spec_parent(spec_cls: type, names: Sequence[str]) -> argparse.ArgumentParse
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     workers = _spec_parent(ExecutionSpec, ["workers"])
+    ipc = _spec_parent(ExecutionSpec, ["ipc"])
     geometry = _spec_parent(ExecutionSpec, [
         "window_seconds", "lateness_seconds", "speedup", "chunk_rows",
         "retain_windows", "dedup_window",
@@ -180,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = sub.add_parser(
         "detect", help="run a trained detector over a trace",
-        parents=[train, workers],
+        parents=[train, workers, ipc],
     )
     detect.add_argument("trace", help=".rpv5 trace path")
     detect.add_argument("--detector", default="netreflex",
@@ -189,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     extract = sub.add_parser(
         "extract", help="extract flows for a window",
-        parents=[workers, anonymize],
+        parents=[workers, ipc, anonymize],
     )
     extract.add_argument("trace", help=".rpv5 trace path")
     extract.add_argument("--start", type=float, required=True)
@@ -201,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stream = sub.add_parser(
         "stream", help="online detection over a replayed trace",
-        parents=[train, workers, geometry, triage_flag, sinks],
+        parents=[train, workers, ipc, geometry, triage_flag, sinks],
     )
     stream.add_argument("trace", help=".rpv5 trace path")
     stream.add_argument("--detector", default="netreflex",
@@ -250,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
     a_ls.add_argument("--dir", required=True, help="archive directory")
 
     a_query = asub.add_parser(
-        "query", help="pruned nfdump-style query over the archive"
+        "query", help="pruned nfdump-style query over the archive",
+        parents=[workers, ipc],
     )
     a_query.add_argument("--dir", required=True, help="archive directory")
     a_query.add_argument("--filter", default=None,
@@ -261,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="top-N values of a feature "
                               "(srcIP/dstIP/srcPort/dstPort/proto)")
     a_query.add_argument("-n", type=int, default=10)
+    a_query.add_argument("--stats", action="store_true",
+                         help="aggregate counters only (planner "
+                              "pushdown; no rows materialised)")
+    a_query.add_argument("--explain", action="store_true",
+                         help="print the planner's decision record")
 
     a_compact = asub.add_parser(
         "compact", help="merge rotation spills into sealed partitions"
@@ -274,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
         "triage",
         help="triage open alarms in an alarm DB against the archive "
              "(the restart-recovery path)",
-        parents=[workers, anonymize],
+        parents=[workers, ipc, anonymize],
     )
     a_triage.add_argument("--dir", required=True, help="archive directory")
     a_triage.add_argument("--alarmdb", required=True,
@@ -334,13 +341,22 @@ def _render_query(spec: api.SessionSpec, result: api.RunResult) -> None:
         )
     else:
         print(f"{result.stats['matched']} flows match")
-    if flows is None:
+    plan = result.payload.get("plan")
+    if plan is not None:
+        print(plan.render())
+    counts = result.payload.get("stats")
+    if counts is not None:
+        print(render_table([
+            ("flows", "packets", "bytes", "start", "end"),
+            (str(counts.flows), str(counts.packets), str(counts.bytes),
+             f"{counts.start:g}", f"{counts.end:g}"),
+        ]))
         return
     execution = spec.execution
     if execution.top:
         print(_top_table(result.payload["top"],
                          result.payload["top_feature"]))
-    else:
+    elif flows is not None:
         print(flow_drilldown_view(flows.to_records(),
                                   limit=execution.limit))
 
@@ -560,7 +576,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         api.session()
         .source("rpv5", path=args.trace)
         .detect(args.detector, train_bins=args.train_bins)
-        .batch(workers=args.workers)
+        .batch(workers=args.workers, ipc=args.ipc)
     )
     return _finish(builder.spec(), builder.run())
 
@@ -570,7 +586,8 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         api.session()
         .source("rpv5", path=args.trace)
         .extract(args.start, args.end, hints=args.hint,
-                 workers=args.workers, anonymize=args.anonymize)
+                 workers=args.workers, anonymize=args.anonymize,
+                 ipc=args.ipc)
     )
     return _finish(builder.spec(), builder.run())
 
@@ -590,6 +607,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             speedup=args.speedup or None,
             chunk_rows=args.chunk_rows,
             triage=args.triage,
+            ipc=args.ipc,
         )
         .on_start(on_start)
         .on_window(on_window)
@@ -653,7 +671,9 @@ def _cmd_archive(args: argparse.Namespace) -> int:
             api.session()
             .source("archive", path=args.dir)
             .query(start=args.start, end=args.end, filter=args.filter,
-                   top=args.top, limit=args.n)
+                   top=args.top, limit=args.n, stats=args.stats,
+                   explain=args.explain, workers=args.workers,
+                   ipc=args.ipc)
         )
         return _finish(builder.spec(), builder.run())
 
@@ -661,7 +681,8 @@ def _cmd_archive(args: argparse.Namespace) -> int:
         builder = (
             api.session()
             .source("archive", path=args.dir)
-            .triage(workers=args.workers, anonymize=args.anonymize)
+            .triage(workers=args.workers, anonymize=args.anonymize,
+                    ipc=args.ipc)
             .alarmdb(args.alarmdb)
         )
         return _finish(builder.spec(), builder.run())

@@ -228,10 +228,12 @@ class AnomalyExtractor:
         config: ExtractionConfig | None = None,
         workers: int = 1,
         executor: "ShardExecutor | None" = None,
+        ipc: str = "auto",
     ) -> None:
         """``executor`` optionally shares an existing worker pool (the
         sharded stream engine passes its own so triage mining does not
-        spawn a second pool)."""
+        spawn a second pool); ``ipc`` picks the transport of a pool
+        created here (see :class:`~repro.parallel.executor.ShardExecutor`)."""
         self.config = config or ExtractionConfig()
         if workers < 1:
             raise ExtractionError(f"workers must be >= 1: {workers!r}")
@@ -243,7 +245,9 @@ class AnomalyExtractor:
             from repro.parallel.partition import PartitionSpec
 
             if executor is None:
-                executor = self._owned_executor = ShardExecutor(workers)
+                executor = self._owned_executor = ShardExecutor(
+                    workers, ipc=ipc
+                )
             self._miner = ShardedApriori(
                 self.config.mining,
                 partition=PartitionSpec(shards=workers),

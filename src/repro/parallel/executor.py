@@ -6,31 +6,79 @@ the OS. It maps a picklable function over per-shard
 
 * **serially in-process** — for ``workers=1``, and on platforms whose
   Python lacks the ``fork`` start method (the spawn path would pay a
-  full interpreter boot per pool); or
+  full interpreter boot per pool). Tables are passed through directly:
+  no codec, no copy, zero overhead over a plain loop; or
 * on a lazily created :class:`~concurrent.futures.ProcessPoolExecutor`
-  (fork context), shipping each table through the compact
-  :func:`~repro.flows.flowio.table_to_bytes` frame instead of pickling
-  ``FlowRecord`` objects.
+  (fork context), shipping each shard either as a
+  ``(segment, offset, rows)`` descriptor into a pooled shared-memory
+  segment (:mod:`repro.flows.shmem` — the rows never cross the pipe;
+  workers map them in place) or, where shared memory is unavailable,
+  as a compact :func:`~repro.flows.flowio.table_to_bytes` frame.
+
+The IPC flavour is the ``ipc`` argument: ``"auto"`` (shared memory
+when it works, frames otherwise), ``"shm"`` (required — raises if the
+platform can't), or ``"frames"`` (forced fallback; CI keeps this leg
+tested). :attr:`ipc_stats` counts the payload bytes each path actually
+pushed through the pool's pipe, which is how the benchmark asserts the
+descriptor path copies ~nothing per chunk.
+
+Segment lifecycle: one pooled segment per executor, recycled between
+map calls (refcount-gated via :meth:`~repro.flows.shmem.RowBuffer`),
+grown geometrically when a fan-out needs more room, and unlinked on
+:meth:`close` — with the shmem module's ``atexit`` backstop covering
+SIGINT and worker-crash unwinds, so ``/dev/shm`` never leaks.
 
 The pool is created on first parallel use and reused across calls —
 the mining self-tuning loop and the stream engine's window closes all
 amortise one startup. Task functions must be module-level (picklable)
-and receive the *decoded* table; the serial path skips the codec
-entirely, so ``workers=1`` adds zero overhead over a plain loop.
+and receive the *decoded* table (a zero-copy view on the shm path).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 import signal
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, NamedTuple, Sequence
+
+import numpy as np
 
 from repro.errors import ReproError
+from repro.flows import shmem
 from repro.flows.flowio import table_from_bytes, table_to_bytes
 from repro.flows.table import FlowTable
 
-__all__ = ["ShardExecutor"]
+__all__ = ["IPC_MODES", "IpcStats", "ShardExecutor"]
+
+#: Accepted ``ipc`` arguments.
+IPC_MODES = ("auto", "shm", "frames")
+
+#: Smallest pooled segment; grown geometrically as fan-outs demand.
+_MIN_SEGMENT_BYTES = 1 << 20
+
+#: Approximate pickled size of one ``RowSlice`` descriptor — what the
+#: shm path pushes through the pipe per shard instead of the rows.
+_DESCRIPTOR_BYTES = 96
+
+#: Response-slot sizing for group fan-outs: results (array-form
+#: partials) travel back through the segment too, so the pool pipe
+#: carries only a tiny reply marker in each direction. A slot holds
+#: the block header plus this much per input row (generous: a partial
+#: tops out near 80 B/row when every row is unique in every feature);
+#: an oversized result falls back to the pipe, costing throughput
+#: only.
+_RESPONSE_SLOT_BASE = 4096
+_RESPONSE_SLOT_PER_ROW = 96
+
+
+class _SegmentReply(NamedTuple):
+    """Worker's reply marker: the result lives in the segment."""
+
+    offset: int
+    length: int
 
 
 def _worker_init() -> None:
@@ -45,12 +93,102 @@ def _worker_init() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+def _concat_group(group: Sequence[FlowTable]) -> FlowTable:
+    """One table spanning a group (passthrough for singletons)."""
+    if len(group) == 1:
+        return group[0]
+    return FlowTable.concat(list(group))
+
+
 def _run_table_task(
     packed: tuple[Callable[..., Any], bytes, tuple],
 ) -> Any:
-    """Worker-side trampoline: decode the shard, call the task."""
+    """Worker-side trampoline (frame path): decode, call the task."""
     fn, payload, extra = packed
     return fn(table_from_bytes(payload), *extra)
+
+
+def _run_slice_task(
+    packed: tuple[Callable[..., Any], shmem.RowSlice, tuple],
+) -> Any:
+    """Worker-side trampoline (shm path): map the slice, call the task.
+
+    The table handed to ``fn`` is a read-only view straight into the
+    shared segment — zero row bytes crossed the pool.
+    """
+    fn, descriptor, extra = packed
+    return fn(shmem.attach_slice(descriptor), *extra)
+
+
+def _run_group_slice_task(
+    packed: tuple[
+        Callable[..., Any],
+        shmem.RowSlice,
+        tuple[int, int] | None,
+        tuple,
+    ],
+) -> Any:
+    """Group trampoline (shm path): map the slice, reply via the slot.
+
+    The result is pickled into the task's parent-reserved response
+    slot and only a :class:`_SegmentReply` marker crosses the pipe; a
+    result too large for its slot returns the ordinary way.
+    """
+    fn, descriptor, slot, extra = packed
+    result = fn(shmem.attach_slice(descriptor), *extra)
+    if slot is not None:
+        offset, capacity = slot
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        if shmem.write_response(
+            descriptor.segment, offset, capacity, blob
+        ):
+            return _SegmentReply(offset, len(blob))
+    return result
+
+
+def _run_item_task(packed: tuple[Callable[..., Any], tuple]) -> Any:
+    """Worker-side trampoline for non-table tasks (planner scans)."""
+    fn, args = packed
+    return fn(*args)
+
+
+def _run_broadcast_frames_task(
+    packed: tuple[Callable[..., Any], list[bytes], tuple],
+) -> Any:
+    """Broadcast trampoline (frame path): decode all, call the task."""
+    fn, frames, extra = packed
+    return fn([table_from_bytes(frame) for frame in frames], *extra)
+
+
+def _run_broadcast_slice_task(
+    packed: tuple[Callable[..., Any], list[shmem.RowSlice], tuple],
+) -> Any:
+    """Broadcast trampoline (shm path): map all slices, call the task."""
+    fn, descriptors, extra = packed
+    return fn(
+        [shmem.attach_slice(descriptor) for descriptor in descriptors],
+        *extra,
+    )
+
+
+@dataclass
+class IpcStats:
+    """Cumulative accounting of what crossed the worker-pool pipe."""
+
+    #: Tasks dispatched (shards mapped), across all calls.
+    tasks: int = 0
+    #: Total payload size of the shipped tables (header + rows).
+    table_bytes: int = 0
+    #: Payload bytes actually copied through the pool pipe. Frames pay
+    #: the full table here; descriptors pay ~:data:`_DESCRIPTOR_BYTES`;
+    #: the serial path pays nothing.
+    copied_bytes: int = 0
+    #: Payload bytes placed in shared memory instead of the pipe.
+    shared_bytes: int = 0
+
+    def copied_per_task(self) -> float:
+        """Mean payload bytes copied through the pipe per task."""
+        return self.copied_bytes / self.tasks if self.tasks else 0.0
 
 
 class ShardExecutor:
@@ -60,15 +198,22 @@ class ShardExecutor:
         self,
         workers: int = 1,
         use_processes: bool | None = None,
+        ipc: str = "auto",
     ) -> None:
         """``workers`` is the parallelism degree.
 
         ``use_processes`` overrides the default policy (processes iff
         ``workers > 1`` and ``fork`` is available) — tests force the
-        pool path on single-core boxes with ``True``.
+        pool path on single-core boxes with ``True``. ``ipc`` picks the
+        process-path transport (see module docstring); it is ignored on
+        the serial path, which never serialises anything.
         """
         if workers < 1:
             raise ReproError(f"workers must be >= 1: {workers!r}")
+        if ipc not in IPC_MODES:
+            raise ReproError(
+                f"unknown ipc mode {ipc!r}; expected one of {IPC_MODES}"
+            )
         self.workers = workers
         if use_processes is None:
             use_processes = (
@@ -77,6 +222,30 @@ class ShardExecutor:
             )
         self._use_processes = use_processes
         self._pool: ProcessPoolExecutor | None = None
+        self.ipc_requested = ipc
+        # shm descriptors require fork workers: only a forked worker
+        # inherits the parent's resource tracker, keeping segment
+        # ownership unambiguous (see repro.flows.shmem._attach).
+        shm_ok = (
+            "fork" in multiprocessing.get_all_start_methods()
+            and shmem.shared_memory_available()
+        )
+        if not use_processes:
+            self._ipc = "serial"
+        elif ipc == "frames":
+            self._ipc = "frames"
+        elif shm_ok:
+            self._ipc = "shm"
+        elif ipc == "shm":
+            raise ReproError(
+                "ipc='shm' requested but POSIX shared memory (with "
+                "fork workers) is unavailable on this platform; use "
+                "ipc='auto' to fall back to frame IPC"
+            )
+        else:
+            self._ipc = "frames"
+        self._segment: shmem.RowBuffer | None = None
+        self.ipc_stats = IpcStats()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -85,6 +254,25 @@ class ShardExecutor:
         """True when tasks go to worker processes."""
         return self._use_processes
 
+    @property
+    def ipc_mode(self) -> str:
+        """Resolved transport: ``serial``, ``shm`` or ``frames``."""
+        return self._ipc
+
+    @property
+    def parallelism(self) -> int:
+        """Tasks that can actually run at once: workers capped at cores.
+
+        Callers whose split is free to vary (the stream engine's
+        window fan-out — any equal split merges identically) size
+        their fan-outs to this instead of :attr:`workers`: splitting
+        finer than the pool can run buys nothing and pays per-piece
+        dispatch, staging and merge costs.
+        """
+        if not self._use_processes:
+            return 1
+        return min(self.workers, os.cpu_count() or 1)
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             context = multiprocessing.get_context(
@@ -92,18 +280,53 @@ class ShardExecutor:
                 if "fork" in multiprocessing.get_all_start_methods()
                 else None
             )
+            # ``workers`` is the *sharding* degree (it fixes the task
+            # split and therefore the bytes of every result); the pool
+            # is capped at the machine's core count. Oversubscribing a
+            # small box just makes runnable workers preempt each other
+            # — the same shard tasks drain faster through fewer
+            # processes, and results are identical by construction.
+            self._pool_size = min(self.workers, os.cpu_count() or 1)
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
+                max_workers=self._pool_size,
                 mp_context=context,
                 initializer=_worker_init,
             )
         return self._pool
 
+    def _pool_map(self, fn, packed) -> list:
+        """``pool.map`` with tasks batched one pipe message per worker.
+
+        With fewer processes than tasks (small box, capped pool) the
+        default chunksize of 1 pays one queue round trip per task;
+        batching keeps result order and shrinks dispatch latency to
+        one trip per worker."""
+        pool = self._ensure_pool()
+        chunksize = max(1, -(-len(packed) // self._pool_size))
+        return list(pool.map(fn, packed, chunksize=chunksize))
+
+    def _segment_for(self, needed: int) -> shmem.RowBuffer:
+        """The pooled segment, recycled or regrown to hold ``needed``."""
+        segment = self._segment
+        if segment is not None and not segment.refs \
+                and segment.capacity >= needed:
+            segment.rewind()
+            return segment
+        if segment is not None and not segment.refs:
+            segment.close()
+        capacity = max(needed, _MIN_SEGMENT_BYTES)
+        capacity = 1 << (capacity - 1).bit_length()
+        self._segment = shmem.RowBuffer(capacity)
+        return self._segment
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down, unlink the segment (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
 
     def __enter__(self) -> "ShardExecutor":
         return self
@@ -123,8 +346,10 @@ class ShardExecutor:
 
         ``extras`` supplies per-shard positional arguments (defaults to
         none); results come back in shard order. On the process path
-        each table travels as one binary frame and ``fn`` must be a
-        module-level function.
+        each table travels as a shared-memory descriptor (shm mode) or
+        one binary frame (frames mode) and ``fn`` must be a
+        module-level function; the serial path passes the tables
+        through untouched.
         """
         if extras is None:
             extras = [()] * len(tables)
@@ -132,13 +357,350 @@ class ShardExecutor:
             raise ReproError(
                 f"{len(extras)} extras for {len(tables)} shards"
             )
+        stats = self.ipc_stats
+        stats.tasks += len(tables)
         if not self._use_processes:
+            # Serial fallback: hand the caller's tables to the task
+            # directly — no encode/decode round-trip, no copies.
             return [
                 fn(table, *extra) for table, extra in zip(tables, extras)
             ]
         pool = self._ensure_pool()
-        packed = [
-            (fn, table_to_bytes(table), tuple(extra))
-            for table, extra in zip(tables, extras)
-        ]
-        return list(pool.map(_run_table_task, packed))
+        if self._ipc == "shm":
+            staged = self._stage_shm(fn, tables, extras)
+            if staged is not None:
+                segment, packed = staged
+                try:
+                    return self._pool_map(_run_slice_task, packed)
+                finally:
+                    segment.release()
+        packed = []
+        for table, extra in zip(tables, extras):
+            frame = table_to_bytes(table)
+            stats.table_bytes += len(frame)
+            stats.copied_bytes += len(frame)
+            packed.append((fn, frame, tuple(extra)))
+        return self._pool_map(_run_table_task, packed)
+
+    def _stage_shm(
+        self,
+        fn: Callable[..., Any],
+        tables: Sequence[FlowTable],
+        extras: Sequence[tuple],
+    ) -> tuple[shmem.RowBuffer, list[tuple]] | None:
+        """Write the shards into the pooled segment; ``None`` on ENOSPC.
+
+        Returns the acquired segment plus the packed descriptor tasks.
+        Only segment allocation/write failures (``/dev/shm`` pressure)
+        fall back — a task function's own ``OSError`` must never cause
+        the fan-out to silently re-run on the frame path.
+        """
+        try:
+            needed = sum(
+                shmem.block_bytes(len(table)) for table in tables
+            )
+            segment = self._segment_for(needed)
+        except (OSError, MemoryError):
+            return None
+        segment.acquire()
+        try:
+            packed = [
+                (fn, segment.write(table), tuple(extra))
+                for table, extra in zip(tables, extras)
+            ]
+        except (OSError, MemoryError):
+            segment.release()
+            return None
+        except BaseException:
+            segment.release()
+            raise
+        stats = self.ipc_stats
+        stats.table_bytes += needed
+        stats.shared_bytes += needed
+        stats.copied_bytes += _DESCRIPTOR_BYTES * len(tables)
+        return segment, packed
+
+    def map_table_groups(
+        self,
+        fn: Callable[..., Any],
+        groups: Sequence[Sequence[FlowTable]],
+        extras: Sequence[tuple] | None = None,
+    ) -> list[Any]:
+        """``[fn(concat(group), *extra) for group, extra in zip(...)]``.
+
+        Each group of tables becomes **one** task seeing the group's
+        rows as a single table. On the shm path the group is laid out
+        back-to-back in the pooled segment as one row block
+        (:meth:`~repro.flows.shmem.RowBuffer.write_concat`) — the
+        parent never materialises the concatenated table, so a window
+        built from buffered sub-chunk views costs exactly one memcpy
+        per row — and results return through per-task *response slots*
+        in the same segment, so neither direction of the fan-out moves
+        payload bytes through the pool pipe. The serial and frame
+        paths concatenate (the frame codec and the task both need one
+        contiguous table there) and return results the ordinary way.
+        """
+        if extras is None:
+            extras = [()] * len(groups)
+        if len(extras) != len(groups):
+            raise ReproError(
+                f"{len(extras)} extras for {len(groups)} shards"
+            )
+        stats = self.ipc_stats
+        stats.tasks += len(groups)
+        if not self._use_processes:
+            return [
+                fn(_concat_group(group), *extra)
+                for group, extra in zip(groups, extras)
+            ]
+        pool = self._ensure_pool()
+        if self._ipc == "shm":
+            staged = self._stage_shm_groups(fn, groups, extras)
+            if staged is not None:
+                segment, packed = staged
+                try:
+                    replies = self._pool_map(
+                        _run_group_slice_task, packed
+                    )
+                    results = []
+                    for reply in replies:
+                        if isinstance(reply, _SegmentReply):
+                            blob = segment.read_response(reply.offset)
+                            stats.shared_bytes += len(blob)
+                            stats.copied_bytes += _DESCRIPTOR_BYTES
+                            results.append(pickle.loads(blob))
+                        else:
+                            results.append(reply)
+                    return results
+                finally:
+                    segment.release()
+        packed = []
+        for group, extra in zip(groups, extras):
+            frame = table_to_bytes(_concat_group(group))
+            stats.table_bytes += len(frame)
+            stats.copied_bytes += len(frame)
+            packed.append((fn, frame, tuple(extra)))
+        return self._pool_map(_run_table_task, packed)
+
+    def _stage_shm_groups(
+        self,
+        fn: Callable[..., Any],
+        groups: Sequence[Sequence[FlowTable]],
+        extras: Sequence[tuple],
+    ) -> tuple[shmem.RowBuffer, list[tuple]] | None:
+        """Group-concat variant of :meth:`_stage_shm`.
+
+        Besides the row blocks, every task gets a response slot sized
+        to its row count, so workers can hand partials back through
+        the segment instead of the pipe.
+        """
+        try:
+            rows_per = [
+                sum(len(table) for table in group) for group in groups
+            ]
+            slots_per = [
+                _RESPONSE_SLOT_BASE + _RESPONSE_SLOT_PER_ROW * rows
+                for rows in rows_per
+            ]
+            needed = sum(
+                shmem.block_bytes(rows) + slot
+                for rows, slot in zip(rows_per, slots_per)
+            )
+            segment = self._segment_for(needed)
+        except (OSError, MemoryError):
+            return None
+        segment.acquire()
+        try:
+            packed = []
+            for group, rows, slot, extra in zip(
+                groups, rows_per, slots_per, extras
+            ):
+                descriptor = segment.write_concat(group, rows=rows)
+                offset = segment.reserve_block(slot)
+                packed.append(
+                    (fn, descriptor, (offset, slot), tuple(extra))
+                )
+        except (OSError, MemoryError):
+            segment.release()
+            return None
+        except BaseException:
+            segment.release()
+            raise
+        stats = self.ipc_stats
+        stats.table_bytes += sum(
+            shmem.block_bytes(rows) for rows in rows_per
+        )
+        stats.shared_bytes += sum(
+            shmem.block_bytes(rows) for rows in rows_per
+        )
+        stats.copied_bytes += _DESCRIPTOR_BYTES * len(groups)
+        return segment, packed
+
+    def map_masked(
+        self,
+        fn: Callable[..., Any],
+        table: FlowTable,
+        masks: Sequence[np.ndarray],
+        extras: Sequence[tuple] | None = None,
+    ) -> list[Any]:
+        """``[fn(table[mask], *extra) for mask, extra in zip(...)]``.
+
+        Per-shard fan-out of **one** table: each boolean mask's rows
+        become one task. On the shm path the masked subsets are
+        compressed *directly into the pooled segment*
+        (:meth:`~repro.flows.shmem.RowBuffer.write_masked`) — one
+        gather pass per row total, with no intermediate per-shard
+        table ever allocated in the parent. This is the stream
+        engine's window fan-out: hash once, gather once, ship
+        descriptors.
+        """
+        if extras is None:
+            extras = [()] * len(masks)
+        if len(extras) != len(masks):
+            raise ReproError(
+                f"{len(extras)} extras for {len(masks)} shards"
+            )
+        stats = self.ipc_stats
+        stats.tasks += len(masks)
+        if not self._use_processes:
+            return [
+                fn(table.select(mask), *extra)
+                for mask, extra in zip(masks, extras)
+            ]
+        pool = self._ensure_pool()
+        if self._ipc == "shm":
+            staged = self._stage_shm_masked(fn, table, masks, extras)
+            if staged is not None:
+                segment, packed = staged
+                try:
+                    return self._pool_map(_run_slice_task, packed)
+                finally:
+                    segment.release()
+        packed = []
+        for mask, extra in zip(masks, extras):
+            frame = table_to_bytes(table.select(mask))
+            stats.table_bytes += len(frame)
+            stats.copied_bytes += len(frame)
+            packed.append((fn, frame, tuple(extra)))
+        return self._pool_map(_run_table_task, packed)
+
+    def _stage_shm_masked(
+        self,
+        fn: Callable[..., Any],
+        table: FlowTable,
+        masks: Sequence[np.ndarray],
+        extras: Sequence[tuple],
+    ) -> tuple[shmem.RowBuffer, list[tuple]] | None:
+        """Masked-gather variant of :meth:`_stage_shm`."""
+        try:
+            rows_per = [
+                int(np.count_nonzero(mask)) for mask in masks
+            ]
+            needed = sum(shmem.block_bytes(rows) for rows in rows_per)
+            segment = self._segment_for(needed)
+        except (OSError, MemoryError):
+            return None
+        segment.acquire()
+        try:
+            packed = [
+                (
+                    fn,
+                    segment.write_masked(table, mask, rows=rows),
+                    tuple(extra),
+                )
+                for mask, rows, extra in zip(masks, rows_per, extras)
+            ]
+        except (OSError, MemoryError):
+            segment.release()
+            return None
+        except BaseException:
+            segment.release()
+            raise
+        stats = self.ipc_stats
+        stats.table_bytes += needed
+        stats.shared_bytes += needed
+        stats.copied_bytes += _DESCRIPTOR_BYTES * len(masks)
+        return segment, packed
+
+    def map_broadcast(
+        self,
+        fn: Callable[..., Any],
+        tables: Sequence[FlowTable],
+        extras: Sequence[tuple],
+    ) -> list[Any]:
+        """``[fn(list(tables), *extra) for extra in extras]``.
+
+        One task per ``extras`` entry, every task seeing *all* the
+        tables — how the sharded stream engine lets each worker carve
+        its own hash shard out of a window's sub-chunks instead of the
+        parent pre-splitting them. On the shm path the tables are
+        written to the pooled segment **once** and every task receives
+        the same descriptor list; the frame fallback necessarily
+        re-ships the frames per task.
+        """
+        if not self._use_processes:
+            self.ipc_stats.tasks += len(extras)
+            return [fn(list(tables), *extra) for extra in extras]
+        pool = self._ensure_pool()
+        stats = self.ipc_stats
+        stats.tasks += len(extras)
+        if self._ipc == "shm":
+            try:
+                needed = sum(
+                    shmem.block_bytes(len(table)) for table in tables
+                )
+                segment = self._segment_for(needed)
+            except (OSError, MemoryError):
+                segment = None
+            if segment is not None:
+                segment.acquire()
+                try:
+                    try:
+                        descriptors = [
+                            segment.write(table) for table in tables
+                        ]
+                    except (OSError, MemoryError):
+                        descriptors = None
+                    if descriptors is not None:
+                        stats.table_bytes += needed
+                        stats.shared_bytes += needed
+                        stats.copied_bytes += (
+                            _DESCRIPTOR_BYTES
+                            * len(descriptors)
+                            * len(extras)
+                        )
+                        packed = [
+                            (fn, descriptors, tuple(extra))
+                            for extra in extras
+                        ]
+                        return list(
+                            self._pool_map(_run_broadcast_slice_task, packed)
+                        )
+                finally:
+                    segment.release()
+        frames = [table_to_bytes(table) for table in tables]
+        frame_bytes = sum(len(frame) for frame in frames)
+        stats.table_bytes += frame_bytes
+        stats.copied_bytes += frame_bytes * len(extras)
+        packed = [(fn, frames, tuple(extra)) for extra in extras]
+        return self._pool_map(_run_broadcast_frames_task, packed)
+
+    def map_items(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[tuple],
+    ) -> list[Any]:
+        """``[fn(*item) for item in items]`` on the workers.
+
+        For tasks whose payloads are not tables — the archive query
+        planner ships ``(path, window, filter)`` tuples and lets each
+        worker open the partition mmap directly, so zero rows cross
+        the pool inbound.
+        """
+        self.ipc_stats.tasks += len(items)
+        if not self._use_processes:
+            return [fn(*item) for item in items]
+        pool = self._ensure_pool()
+        return list(
+            self._pool_map(_run_item_task, [(fn, tuple(i)) for i in items])
+        )

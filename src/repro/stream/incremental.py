@@ -43,6 +43,8 @@ from repro.flows.table import FlowTable
 
 __all__ = [
     "WindowAccumulator",
+    "accumulate_payload",
+    "merge_payloads",
     "StreamingDetector",
     "StreamingNetReflex",
     "StreamingHistogramKL",
@@ -63,10 +65,18 @@ class WindowAccumulator:
     ``weightings`` names the histogram weightings to maintain per
     feature (``"flows"``/``"packets"``/``"bytes"``); volume counters
     are always kept.
+
+    State is held in *array form*: each folded chunk contributes one
+    payload of ``np.unique``-sorted ``(values, counts)`` arrays per
+    feature (see :func:`accumulate_payload`), pending payloads merge
+    vectorized on first read, and the ``Counter`` views the detectors
+    score from are materialised lazily, once per window. Counts are
+    exact integers throughout, so any chunking/sharding of the same
+    rows produces identical state.
     """
 
-    __slots__ = ("flows", "packets", "bytes", "values", "_features",
-                 "_weightings")
+    __slots__ = ("flows", "packets", "bytes", "_features",
+                 "_weightings", "_pending", "_merged", "_counters")
 
     def __init__(
         self,
@@ -78,11 +88,13 @@ class WindowAccumulator:
         self.bytes = 0
         self._features = features
         self._weightings = weightings
-        self.values: dict[tuple[FlowFeature, str], Counter] = {
-            (feature, weighting): Counter()
-            for feature in features
-            for weighting in weightings
-        }
+        #: Unmerged array-form payload value maps, newest last.
+        self._pending: list[dict] = []
+        #: Fully merged value map: feature -> (values, counts-per-
+        #: weighting tuple), or None until first materialisation.
+        self._merged: dict | None = None
+        #: Lazily built Counter views keyed by (feature, weighting).
+        self._counters: dict[tuple[FlowFeature, str], Counter] = {}
 
     @property
     def features(self) -> tuple[FlowFeature, ...]:
@@ -94,11 +106,22 @@ class WindowAccumulator:
         """Histogram weightings maintained per feature."""
         return self._weightings
 
+    def add_payload(self, payload: tuple[int, int, int, dict]) -> None:
+        """Fold one array-form partial (:func:`accumulate_payload`)."""
+        flows, packets, bytes_, values = payload
+        if not flows:
+            return
+        self.flows += flows
+        self.packets += packets
+        self.bytes += bytes_
+        self._pending.append(values)
+        self._counters.clear()
+
     def merge(self, other: "WindowAccumulator") -> None:
         """Fold another accumulator's state into this one.
 
-        Counter addition over integers is associative and commutative,
-        so merging per-shard partials equals one-pass accumulation of
+        Integer-count addition is associative and commutative, so
+        merging per-shard partials equals one-pass accumulation of
         the same rows — the sharded stream engine's window-close step.
         ``other`` must maintain the same (features, weightings).
         """
@@ -111,8 +134,10 @@ class WindowAccumulator:
         self.flows += other.flows
         self.packets += other.packets
         self.bytes += other.bytes
-        for key, counter in other.values.items():
-            self.values[key].update(counter)
+        if other._merged:
+            self._pending.append(other._merged)
+        self._pending.extend(other._pending)
+        self._counters.clear()
 
     @staticmethod
     def _weight_column(chunk: FlowTable, weighting: str) -> np.ndarray | None:
@@ -134,34 +159,50 @@ class WindowAccumulator:
         feature column is computed once and shared by every weighting —
         the dominant per-chunk cost on the ingest hot path.
         """
-        if not len(chunk):
-            return
-        self.flows += len(chunk)
-        self.packets += chunk.total_packets()
-        self.bytes += chunk.total_bytes()
-        weight_columns = {
-            weighting: self._weight_column(chunk, weighting)
-            for weighting in self._weightings
-        }
-        for feature in self._features:
-            values, inverse = np.unique(
-                chunk.feature_column(feature), return_inverse=True
-            )
-            keys = values.tolist()
-            for weighting in self._weightings:
-                weights = weight_columns[weighting]
-                if weights is None:
-                    counts = np.bincount(inverse, minlength=len(keys))
-                else:
-                    counts = np.zeros(len(keys), dtype=np.int64)
-                    np.add.at(counts, inverse, weights)
-                self.values[(feature, weighting)].update(
-                    dict(zip(keys, counts.tolist()))
-                )
+        self.add_payload(
+            accumulate_payload(chunk, self._features, self._weightings)
+        )
+
+    def _materialized(self) -> dict:
+        """The merged value map; folds any pending payloads first."""
+        if self._pending:
+            sources = self._pending
+            if self._merged:
+                sources = [self._merged, *sources]
+            merged: dict = {}
+            for feature in self._features:
+                parts = [
+                    source[feature]
+                    for source in sources
+                    if feature in source
+                ]
+                if parts:
+                    merged[feature] = _merge_value_parts(parts)
+            self._merged = merged
+            self._pending = []
+        elif self._merged is None:
+            self._merged = {}
+        return self._merged
 
     def histogram(self, feature: FlowFeature, weighting: str) -> Counter:
         """The rolling value histogram for one (feature, weighting)."""
-        return self.values[(feature, weighting)]
+        if feature not in self._features \
+                or weighting not in self._weightings:
+            raise KeyError((feature, weighting))
+        key = (feature, weighting)
+        counter = self._counters.get(key)
+        if counter is None:
+            entry = self._materialized().get(feature)
+            if entry is None:
+                counter = Counter()
+            else:
+                values, counts = entry
+                column = counts[self._weightings.index(weighting)]
+                counter = Counter(
+                    dict(zip(values.tolist(), column.tolist()))
+                )
+            self._counters[key] = counter
+        return counter
 
     def entropy(self, feature: FlowFeature) -> float:
         """Sample entropy of the flow-weighted value distribution.
@@ -170,15 +211,15 @@ class WindowAccumulator:
         order the batch path's ``np.unique`` produces — so the float
         accumulation matches the batch entropy bit for bit.
         """
-        counter = self.values[(feature, "flows")]
-        if not counter:
+        if feature not in self._features \
+                or "flows" not in self._weightings:
+            raise KeyError((feature, "flows"))
+        entry = self._materialized().get(feature)
+        if entry is None:
             return 0.0
-        counts = np.fromiter(
-            (counter[value] for value in sorted(counter)),
-            dtype=np.int64,
-            count=len(counter),
+        return entropy_of_count_array(
+            entry[1][self._weightings.index("flows")]
         )
-        return entropy_of_count_array(counts)
 
     def bin_features(self) -> BinFeatures:
         """The window's detector feature vector (batch-identical)."""
@@ -191,6 +232,117 @@ class WindowAccumulator:
             entropy_src_port=self.entropy(FlowFeature.SRC_PORT),
             entropy_dst_port=self.entropy(FlowFeature.DST_PORT),
         )
+
+
+# -- array-form partials (the accumulator's native + IPC format) -------------
+#
+# A *payload* is one chunk's (or shard's) window partial as plain
+# numpy arrays: ``(flows, packets, bytes, values)`` where ``values``
+# maps each feature to ``(unique_values, (counts, ...))`` — one
+# int64-exact count array per weighting, all in ascending value order.
+# It carries exactly the information the old Counter-dict state did
+# but pickles as flat buffers instead of per-item dict entries — the
+# dominant result-path cost when partials come back from worker
+# processes — and merges vectorized. Counts are exact integers, so
+# payload merging equals Counter merging equals one-pass accumulation
+# for any chunking or shard split.
+
+#: Largest count shipped as int32; merging always widens to int64.
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def accumulate_payload(
+    chunk: FlowTable,
+    features: tuple[FlowFeature, ...],
+    weightings: tuple[str, ...],
+) -> tuple[int, int, int, dict]:
+    """One chunk's window partial in array form (cheap to ship).
+
+    Counting matches :mod:`repro.flows.aggregate`'s table histograms
+    operation for operation (``np.unique`` + ``bincount``/exact int64
+    ``add.at``, one factorization shared per feature). Count arrays
+    that fit are narrowed to int32 for the trip through the worker
+    pool's pipe; merging widens back to int64 before any arithmetic
+    that could overflow.
+    """
+    if not len(chunk):
+        return (0, 0, 0, {})
+    values: dict = {}
+    weight_columns = [
+        WindowAccumulator._weight_column(chunk, weighting)
+        for weighting in weightings
+    ]
+    for feature in features:
+        column_values, inverse = np.unique(
+            chunk.feature_column(feature), return_inverse=True
+        )
+        per_weighting = []
+        for weights in weight_columns:
+            if weights is None:
+                counts = np.bincount(
+                    inverse, minlength=len(column_values)
+                )
+            else:
+                counts = np.zeros(len(column_values), dtype=np.int64)
+                np.add.at(counts, inverse, weights)
+            if counts.size and int(counts.max()) <= _INT32_MAX:
+                counts = counts.astype(np.int32, copy=False)
+            per_weighting.append(counts)
+        values[feature] = (column_values, tuple(per_weighting))
+    return (
+        len(chunk),
+        chunk.total_packets(),
+        chunk.total_bytes(),
+        values,
+    )
+
+
+def _merge_value_parts(parts: list[tuple]) -> tuple:
+    """Merge per-feature ``(values, counts-per-weighting)`` parts.
+
+    Equal values sum exactly in int64; the merged arrays stay in the
+    ascending value order every other path (``np.unique``) produces.
+    """
+    if len(parts) == 1:
+        values, counts = parts[0]
+        return (
+            values,
+            tuple(
+                column.astype(np.int64, copy=False)
+                for column in counts
+            ),
+        )
+    all_values = np.concatenate([part[0] for part in parts])
+    merged_values, inverse = np.unique(all_values, return_inverse=True)
+    merged_counts = []
+    for index in range(len(parts[0][1])):
+        column = np.zeros(len(merged_values), dtype=np.int64)
+        np.add.at(
+            column,
+            inverse,
+            np.concatenate([part[1][index] for part in parts]),
+        )
+        merged_counts.append(column)
+    return (merged_values, tuple(merged_counts))
+
+
+def merge_payloads(
+    features: tuple[FlowFeature, ...],
+    weightings: tuple[str, ...],
+    payloads: list[tuple[int, int, int, dict]],
+) -> WindowAccumulator:
+    """Fold array-form partials into one scored-ready accumulator.
+
+    Cheap by construction: payloads are only *banked* here — the
+    vectorized merge and the Counter views materialise lazily when
+    the detectors first read the state.
+    """
+    accumulator = WindowAccumulator(
+        features=features, weightings=weightings
+    )
+    for payload in payloads:
+        accumulator.add_payload(payload)
+    return accumulator
 
 
 class StreamingDetector(abc.ABC):

@@ -3,13 +3,15 @@
 :class:`ShardedStreamEngine` is the scale-out variant of
 :class:`~repro.stream.runtime.StreamEngine`. Ingest stays cheap and
 single-threaded — the window ring routes chunks by time exactly as
-before — but every routed sub-chunk is *bucketed* by the partition
-hash instead of being folded into detector state immediately. The
-expensive part (per-feature value histograms, `np.unique` over every
-column) runs **per shard** through a
-:class:`~repro.parallel.executor.ShardExecutor`, and the per-shard
-:class:`~repro.stream.incremental.WindowAccumulator` partials are
-merged in the parent before scoring. Fan-out happens whenever a
+before — but every routed sub-chunk is *buffered* instead of being
+folded into detector state immediately. The expensive part
+(per-feature value histograms, `np.unique` over every column) runs
+**per shard** through a
+:class:`~repro.parallel.executor.ShardExecutor` — shards travel as
+shared-memory descriptors when the executor's IPC mode allows, so no
+row bytes cross the pool — and the per-shard array-form partials
+(:func:`~repro.stream.incremental.accumulate_payload`) are merged in
+the parent at window close. Fan-out happens whenever a
 window's buffer reaches ``flush_rows`` and once more when the
 watermark seals it, so — unlike naive buffer-to-close — raw rows held
 per open window stay bounded while the heavy accumulation still runs
@@ -39,8 +41,12 @@ from repro.errors import StoreError
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
 from repro.parallel.executor import ShardExecutor
-from repro.parallel.partition import PartitionSpec, shard_ids
-from repro.stream.incremental import StreamingDetector, WindowAccumulator
+from repro.parallel.partition import PartitionSpec
+from repro.stream.incremental import (
+    StreamingDetector,
+    accumulate_payload,
+    merge_payloads,
+)
 from repro.stream.runtime import StreamEngine, WindowResult
 from repro.stream.window import ClosedWindow
 from repro.system.alarmdb import AlarmDatabase
@@ -50,22 +56,24 @@ __all__ = ["ShardedStreamEngine"]
 
 
 def _accumulate_task(
-    table: FlowTable, layouts: tuple[tuple, ...]
-) -> list[WindowAccumulator]:
+    rows: FlowTable,
+    layouts: tuple[tuple, ...],
+) -> list[tuple]:
     """Worker task: one shard's window partial per accumulator layout.
 
-    ``layouts`` lists distinct ``(features, weightings)`` pairs needed
-    by the engine's detectors; each yields one accumulator over the
-    shard's rows.
+    ``rows`` is the shard's slice of a window (a zero-copy shm view
+    when the executor's IPC mode allows). ``layouts`` lists distinct
+    ``(features, weightings)`` pairs needed by the engine's detectors;
+    each yields one array-form partial
+    (:func:`~repro.stream.incremental.accumulate_payload`) over the
+    shard's rows. Partials travel back as flat numpy buffers — with
+    shm descriptors shipping the rows in, this keeps both directions
+    of the fan-out off the pickle hot path.
     """
-    partials = []
-    for features, weightings in layouts:
-        accumulator = WindowAccumulator(
-            features=features, weightings=weightings
-        )
-        accumulator.update(table)
-        partials.append(accumulator)
-    return partials
+    return [
+        accumulate_payload(rows, features, weightings)
+        for features, weightings in layouts
+    ]
 
 
 class ShardedStreamEngine(StreamEngine):
@@ -77,6 +85,7 @@ class ShardedStreamEngine(StreamEngine):
         workers: int = 1,
         partition: PartitionSpec | None = None,
         executor: ShardExecutor | None = None,
+        ipc: str = "auto",
         flush_rows: int = 262_144,
         window_seconds: float = DEFAULT_BIN_SECONDS,
         origin: float | None = None,
@@ -97,7 +106,7 @@ class ShardedStreamEngine(StreamEngine):
             partition = PartitionSpec(shards=max(workers, 1))
         self._owns_executor = executor is None
         if executor is None:
-            executor = ShardExecutor(workers)
+            executor = ShardExecutor(workers, ipc=ipc)
         self.partition = partition
         self.executor = executor
         super().__init__(
@@ -130,14 +139,17 @@ class ShardedStreamEngine(StreamEngine):
             if layout not in self._layouts:
                 self._layouts.append(layout)
             self._layout_of.append(self._layouts.index(layout))
-        #: Open-window shard buckets: window index -> per-shard chunk
-        #: lists. Bounded: once a window holds ``flush_rows`` buffered
-        #: rows the buckets fan out into :attr:`_partials` and are
-        #: dropped, so raw rows never accumulate past the threshold.
-        self._buckets: dict[int, list[list[FlowTable]]] = {}
+        #: Open-window buffers: window index -> routed sub-chunks, in
+        #: arrival order (split into shard slices at fan-out).
+        #: Bounded: once a window holds ``flush_rows`` buffered rows
+        #: the buffer fans out into :attr:`_partials` and is dropped,
+        #: so raw rows never accumulate past the threshold.
+        self._buckets: dict[int, list[FlowTable]] = {}
         self._buffered: dict[int, int] = {}
-        #: Merged per-layout accumulators of already-flushed rows.
-        self._partials: dict[int, list[WindowAccumulator]] = {}
+        #: Per-layout array-form partials of already-flushed rows
+        #: (one list of payloads per layout); merged into scoring
+        #: accumulators once, when the window seals.
+        self._partials: dict[int, list[list[tuple]]] = {}
 
     def close(self) -> None:
         """Release worker processes and buffered window state."""
@@ -151,20 +163,13 @@ class ShardedStreamEngine(StreamEngine):
     # -- ingest ------------------------------------------------------------
 
     def _observe(self, index: int, rows: FlowTable) -> None:
-        """Bucket a routed sub-chunk by shard; fan out when full."""
-        buckets = self._buckets.get(index)
-        if buckets is None:
-            buckets = self._buckets[index] = [
-                [] for _ in range(self.partition.shards)
-            ]
-        if self.partition.shards == 1:
-            buckets[0].append(rows)
-        else:
-            ids = shard_ids(rows, self.partition)
-            for shard in range(self.partition.shards):
-                selected = rows.select(ids == shard)
-                if len(selected):
-                    buckets[shard].append(selected)
+        """Buffer a routed sub-chunk; fan out when full.
+
+        Deliberately does **no** numpy work per chunk: concatenation
+        and per-shard slicing happen once per fan-out over the whole
+        buffered window, not once per arriving sub-chunk.
+        """
+        self._buckets.setdefault(index, []).append(rows)
         buffered = self._buffered.get(index, 0) + len(rows)
         if buffered >= self.flush_rows:
             self._flush(index)
@@ -172,45 +177,85 @@ class ShardedStreamEngine(StreamEngine):
             self._buffered[index] = buffered
 
     def _flush(self, index: int) -> None:
-        """Fan one window's buffered rows out and merge the partials.
+        """Fan one window's buffered rows out; bank the partials.
 
         Keeps ingest memory bounded: raw rows of an open window never
-        exceed ``flush_rows`` — merged accumulators carry the rest,
-        and merging across flushes is exact (integer counters).
+        exceed ``flush_rows`` — array-form partials (aggregated value
+        histograms, never raw rows) carry the rest, and merging them
+        at seal is exact (integer counts).
         """
-        buckets = self._buckets.pop(index, None)
+        tables = self._buckets.pop(index, None)
         self._buffered.pop(index, None)
-        if buckets is None:
+        if tables is None:
             return
-        shards = [
-            FlowTable.concat(chunks) for chunks in buckets if chunks
-        ]
-        if not shards:
+        tables = [table for table in tables if len(table)]
+        if not tables:
             return
-        merged = self._partials.get(index)
-        if merged is None:
-            merged = self._partials[index] = [
-                WindowAccumulator(features=features, weightings=weightings)
-                for features, weightings in self._layouts
+        pending = self._partials.get(index)
+        if pending is None:
+            pending = self._partials[index] = [
+                [] for _ in self._layouts
             ]
         layouts = tuple(self._layouts)
-        partial_lists = self.executor.map_tables(
-            _accumulate_task, shards, [(layouts,)] * len(shards)
+        # Fan out *contiguous* equal row spans, not hash-gathered
+        # shards. Array-form partials are canonical (value-sorted,
+        # integer counts), so any equal split of the rows merges back
+        # to the identical window state — only mining needs
+        # key-consistent shards. Each span is a group of zero-copy
+        # views over the buffered sub-chunks (split at shard
+        # boundaries by slicing), and the executor lays a group out
+        # back-to-back in its segment as one block — one memcpy per
+        # row total, where the hash split paid a vectorized hash pass
+        # plus one full-window boolean gather per shard, after a
+        # window-sized concat. Because the split is free to vary, it
+        # is sized to what the pool can actually run at once
+        # (executor.parallelism): oversplitting a small box pays
+        # per-piece staging and merge costs for zero extra overlap.
+        pieces = max(
+            1, min(self.partition.shards, self.executor.parallelism)
         )
-        for partials in partial_lists:
-            for target, partial in zip(merged, partials):
-                target.merge(partial)
+        total = sum(len(table) for table in tables)
+        step = -(-total // pieces)
+        groups: list[list[FlowTable]] = []
+        current: list[FlowTable] = []
+        filled = 0
+        for table in tables:
+            start, count = 0, len(table)
+            while start < count:
+                take = min(count - start, step - filled)
+                current.append(
+                    table if take == count
+                    else table.select(slice(start, start + take))
+                )
+                filled += take
+                start += take
+                if filled == step:
+                    groups.append(current)
+                    current, filled = [], 0
+        if current:
+            groups.append(current)
+        payload_lists = self.executor.map_table_groups(
+            _accumulate_task,
+            groups,
+            [(layouts,)] * len(groups),
+        )
+        for payloads in payload_lists:
+            for bucket, payload in zip(pending, payloads):
+                bucket.append(payload)
 
     # -- window close ------------------------------------------------------
 
     def _seal(self, window: ClosedWindow) -> WindowResult:
         self._flush(window.index)
-        merged = self._partials.pop(window.index, None)
-        if merged is None:
-            merged = [
-                WindowAccumulator(features=features, weightings=weightings)
-                for features, weightings in self._layouts
-            ]
+        pending = self._partials.pop(
+            window.index, [[] for _ in self._layouts]
+        )
+        merged = [
+            merge_payloads(features, weightings, payloads)
+            for (features, weightings), payloads in zip(
+                self._layouts, pending
+            )
+        ]
         # Seed the merged state so the adapters' close() pops it and
         # evaluates through the shared batch entry points.
         for detector, layout_index in zip(

@@ -59,17 +59,20 @@ class ExtractionSystem:
         config: SystemConfig | None = None,
         workers: int = 1,
         executor: "ShardExecutor | None" = None,
+        ipc: str = "auto",
     ) -> None:
         """``workers > 1`` shards the extraction mining step across
         that many partitions (identical reports, higher throughput —
         see :mod:`repro.parallel`); ``executor`` optionally shares an
-        existing worker pool."""
+        existing worker pool; ``ipc`` picks the transport of a pool
+        created here."""
         self.config = config or SystemConfig()
         self.backend = backend
         self.alarmdb = alarmdb or AlarmDatabase()
         self.workers = workers
         self.extractor = AnomalyExtractor(
-            self.config.extraction, workers=workers, executor=executor
+            self.config.extraction, workers=workers, executor=executor,
+            ipc=ipc,
         )
 
     @classmethod
@@ -78,6 +81,7 @@ class ExtractionSystem:
         trace: FlowTrace,
         config: SystemConfig | None = None,
         workers: int = 1,
+        ipc: str = "auto",
     ) -> "ExtractionSystem":
         """Build a system over an in-memory trace archive."""
         config = config or SystemConfig()
@@ -86,7 +90,7 @@ class ExtractionSystem:
             baseline_bins=config.baseline_bins,
             pad_bins=config.pad_bins,
         )
-        return cls(backend, config=config, workers=workers)
+        return cls(backend, config=config, workers=workers, ipc=ipc)
 
     @classmethod
     def from_archive(
@@ -95,6 +99,7 @@ class ExtractionSystem:
         alarmdb: AlarmDatabase | None = None,
         config: SystemConfig | None = None,
         workers: int = 1,
+        ipc: str = "auto",
     ) -> "ExtractionSystem":
         """Build a system over a persistent on-disk flow archive.
 
@@ -113,7 +118,7 @@ class ExtractionSystem:
             pad_bins=config.pad_bins,
         )
         return cls(backend, alarmdb=alarmdb, config=config,
-                   workers=workers)
+                   workers=workers, ipc=ipc)
 
     def close(self) -> None:
         """Release extraction worker pools this system owns (idempotent)."""

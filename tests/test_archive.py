@@ -749,3 +749,212 @@ class TestZoneMapJson:
 
     def test_partition_header_size_is_stable(self):
         assert PARTITION_HEADER_SIZE == 32
+
+
+class TestQueryPlanner:
+    """The three-tier planner: sidecar pushdown, parallel scan, serial
+    scan — every tier must produce byte-identical answers, and the
+    :class:`QueryPlan` must faithfully record which tier ran."""
+
+    def test_count_pushdown_reads_no_payload(self, tmp_path):
+        table = _random_table(4000, seed=5)
+        reader = _write(tmp_path / "a", table)
+        counts = reader.count(0.0, 1800.0)
+        plan = reader.last_plan
+        assert counts.flows == 4000
+        assert plan.pushdown == "zone-map-stats"
+        assert plan.scanned == 0
+        assert plan.payload_bytes_read == 0
+        assert plan.sidecar_answered == plan.partitions
+
+    def test_filtered_count_scans_payload(self, tmp_path):
+        table = _random_table(4000, seed=5)
+        reader = _write(tmp_path / "a", table)
+        store = _store(table)
+        ours = reader.count(0.0, 1800.0, "proto tcp")
+        plan = reader.last_plan
+        assert ours.flows == store.count(0.0, 1800.0, "proto tcp").flows
+        assert plan.pushdown is None
+        assert plan.scanned > 0
+        assert plan.payload_bytes_read > 0
+
+    def test_top_pushdown_matches_store(self, tmp_path):
+        from repro.flows.record import FlowFeature
+
+        table = _random_table(5000, seed=8)
+        reader = _write(tmp_path / "a", table)
+        store = _store(table)
+        for by_packets in (False, True):
+            ours = reader.top_feature_values(
+                0.0, 1800.0, FlowFeature.DST_PORT,
+                n=5, by_packets=by_packets,
+            )
+            plan = reader.last_plan
+            assert ours == store.top_feature_values(
+                0.0, 1800.0, FlowFeature.DST_PORT,
+                n=5, by_packets=by_packets,
+            )
+            assert plan.pushdown == "feature-index"
+            assert plan.payload_bytes_read == 0
+            assert plan.sidecar_answered > 0
+
+    def test_missing_sidecar_falls_back_to_scan(self, tmp_path):
+        from repro.flows.record import FlowFeature
+
+        table = _random_table(5000, seed=8)
+        reader = _write(
+            tmp_path / "a", table, feature_indexes=False
+        )
+        assert not list((tmp_path / "a").rglob("*.fidx.json"))
+        store = _store(table)
+        ours = reader.top_feature_values(
+            0.0, 1800.0, FlowFeature.SRC_IP, n=5
+        )
+        plan = reader.last_plan
+        assert ours == store.top_feature_values(
+            0.0, 1800.0, FlowFeature.SRC_IP, n=5
+        )
+        assert plan.pushdown is None
+        assert plan.scanned > 0
+        assert plan.payload_bytes_read > 0
+
+    def test_corrupt_sidecar_falls_back_to_scan(self, tmp_path):
+        from repro.flows.record import FlowFeature
+
+        table = _random_table(5000, seed=8)
+        reader = _write(tmp_path / "a", table)
+        for fidx in (tmp_path / "a").rglob("*.fidx.json"):
+            fidx.write_text("{ not json")
+        store = _store(table)
+        assert reader.top_feature_values(
+            0.0, 1800.0, FlowFeature.DST_PORT, n=5
+        ) == store.top_feature_values(
+            0.0, 1800.0, FlowFeature.DST_PORT, n=5
+        )
+        assert reader.last_plan.pushdown is None
+
+    def test_partial_window_falls_back_to_scan(self, tmp_path):
+        from repro.flows.record import FlowFeature
+
+        table = _random_table(5000, seed=8)
+        reader = _write(tmp_path / "a", table)
+        store = _store(table)
+        # A window cutting through a slice cannot use per-partition
+        # totals; the planner must notice and scan.
+        assert reader.top_feature_values(
+            150.0, 1234.0, FlowFeature.DST_PORT, n=5
+        ) == store.top_feature_values(
+            150.0, 1234.0, FlowFeature.DST_PORT, n=5
+        )
+        assert reader.last_plan.pushdown is None
+        assert reader.last_plan.scanned > 0
+
+    def test_parallel_scan_matches_serial(self, tmp_path):
+        from repro.flows.record import FlowFeature
+        from repro.parallel import ShardExecutor
+
+        table = _random_table(8000, seed=2)
+        root = tmp_path / "a"
+        serial = _write(root, table)
+        want_count = serial.count(300.0, 900.0, "proto tcp")
+        want_top = serial.top_feature_values(
+            150.0, 1500.0, FlowFeature.DST_PORT, n=3,
+            flow_filter="proto udp",
+        )
+        assert serial.last_plan.parallel_tasks == 0
+        with ShardExecutor(2, use_processes=True) as executor:
+            reader = ArchiveReader(root, executor=executor)
+            got_count = reader.count(300.0, 900.0, "proto tcp")
+            count_plan = reader.last_plan
+            got_top = reader.top_feature_values(
+                150.0, 1500.0, FlowFeature.DST_PORT, n=3,
+                flow_filter="proto udp",
+            )
+            top_plan = reader.last_plan
+        assert got_count == want_count
+        assert got_top == want_top
+        assert count_plan.parallel_tasks == count_plan.scanned > 0
+        assert top_plan.parallel_tasks == top_plan.scanned > 0
+
+    def test_feature_index_roundtrip(self):
+        from repro.archive.planner import FeatureIndex
+
+        table = _random_table(700, seed=9)
+        index = FeatureIndex.from_table(table)
+        parsed = FeatureIndex.from_json(index.to_json())
+        assert parsed.rows == len(table)
+        for column in ("src_ip", "dst_port", "proto"):
+            for by_packets in (False, True):
+                a_values, a_counts = index.histogram(
+                    column, by_packets
+                )
+                b_values, b_counts = parsed.histogram(
+                    column, by_packets
+                )
+                assert np.array_equal(a_values, b_values)
+                assert np.array_equal(a_counts, b_counts)
+        assert "nonsense" not in parsed
+        assert parsed.histogram("nonsense") is None
+
+    def test_feature_index_rejects_bad_documents(self, tmp_path):
+        from repro.archive.planner import (
+            FeatureIndex,
+            load_feature_index,
+        )
+
+        with pytest.raises(ArchiveError, match="version"):
+            FeatureIndex.from_json(
+                '{"version": 999, "rows": 0, "columns": {}}'
+            )
+        with pytest.raises(ArchiveError, match="ragged"):
+            FeatureIndex.from_json(
+                '{"version": 1, "rows": 1, "columns":'
+                ' {"proto": {"values": [6], "flows": [1, 2],'
+                ' "packets": [3]}}}'
+            )
+        with pytest.raises(ArchiveError, match="corrupt"):
+            FeatureIndex.from_json('{"rows": 0}')
+        # load_feature_index never raises: missing and corrupt both
+        # mean "scan instead".
+        assert load_feature_index(tmp_path / "missing.fidx.json") is None
+        bad = tmp_path / "bad.fidx.json"
+        bad.write_text("garbage")
+        assert load_feature_index(bad) is None
+
+    def test_compaction_rewrites_sidecars(self, tmp_path):
+        from repro.flows.record import FlowFeature
+
+        table = _random_table(6000, seed=4)
+        root = tmp_path / "a"
+        _write(root, table, chunk_rows=500, spill_rows=300)
+        store = _store(table)
+        report = compact_archive(root)
+        assert report.partitions_after < report.partitions_before
+        flows = {
+            p.name[: -len(".flows")]
+            for p in root.rglob("*.flows")
+            if "quarantine" not in p.parts
+        }
+        fidxes = {
+            p.name[: -len(".fidx.json")]
+            for p in root.rglob("*.fidx.json")
+            if "quarantine" not in p.parts
+        }
+        assert flows == fidxes
+        reader = ArchiveReader(root)
+        assert reader.top_feature_values(
+            0.0, 1800.0, FlowFeature.DST_PORT, n=5
+        ) == store.top_feature_values(
+            0.0, 1800.0, FlowFeature.DST_PORT, n=5
+        )
+        assert reader.last_plan.pushdown == "feature-index"
+
+    def test_plan_render_mentions_decisions(self, tmp_path):
+        reader = _write(tmp_path / "a", _random_table(2000, seed=7))
+        reader.count(0.0, 1800.0)
+        text = reader.last_plan.render()
+        assert "plan: count" in text
+        assert "zone-map-stats" in text
+        reader.count(0.0, 1800.0, "proto tcp")
+        text = reader.last_plan.render()
+        assert "payload scans" in text

@@ -251,6 +251,62 @@ class TestRun:
         assert "execution.wrokers" in capsys.readouterr().err
 
 
+class TestArchiveQueryPlanner:
+    @pytest.fixture()
+    def archive_dir(self, trace_path, tmp_path):
+        spool = tmp_path / "spool"
+        assert main([
+            "archive", "ingest", str(trace_path), "--dir", str(spool),
+        ]) == 0
+        return spool
+
+    def test_stats_explain_reports_pushdown(self, archive_dir, capsys):
+        code = main([
+            "archive", "query", "--dir", str(archive_dir),
+            "--stats", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: count" in out
+        assert "zone-map-stats" in out
+        assert "0 bytes read" in out
+        assert "packets" in out  # the counters table rendered
+
+    def test_top_explain_reports_feature_index(
+        self, archive_dir, capsys
+    ):
+        code = main([
+            "archive", "query", "--dir", str(archive_dir),
+            "--top", "dstPort", "-n", "3", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: top" in out
+        assert "feature-index" in out
+        assert "value" in out
+
+    def test_filtered_stats_scans_payload(self, archive_dir, capsys):
+        code = main([
+            "archive", "query", "--dir", str(archive_dir),
+            "--stats", "--explain", "--filter", "proto tcp",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "payload scans:" in out
+        assert "pushdown" not in out
+
+    def test_rows_query_without_explain_prints_no_plan(
+        self, archive_dir, capsys
+    ):
+        code = main([
+            "archive", "query", "--dir", str(archive_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flows match" in out
+        assert "plan:" not in out
+
+
 class TestExitCodes:
     def test_error_hierarchy_maps_to_distinct_codes(self):
         from repro.cli import exit_code_for

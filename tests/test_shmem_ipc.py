@@ -1,0 +1,653 @@
+"""Tests for the zero-copy buffer plane (repro.flows.shmem + executor IPC).
+
+The buffer plane's contract is threefold: (1) rows that travel as
+shared-memory descriptors are byte-identical to the tables that were
+written — for whole tables, masked gathers and broadcasts alike; (2)
+the IPC flavour (serial / shm / frames) is invisible in every result
+the executor or the sharded stream engine produces; (3) parent-owned
+segments never outlive their owner — close(), worker crashes and
+interpreter unwinds (the SIGINT path) all leave ``/dev/shm`` clean.
+Hypothesis drives the equivalence over randomized flow sets and shard
+counts (1, 2, 7) including empty and single-row shards.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.netreflex import NetReflexDetector
+from repro.errors import CodecError, FlowError, ReproError
+from repro.flows import shmem
+from repro.flows.flowio import table_to_bytes
+from repro.flows.record import FlowRecord
+from repro.flows.table import FLOW_DTYPE, FlowTable
+from repro.flows.trace import FlowTrace
+from repro.parallel import PartitionSpec, ShardExecutor, shard_ids
+from repro.stream import (
+    ShardedStreamEngine,
+    StreamEngine,
+    streaming_adapter,
+    table_chunks,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+_IPS = st.sampled_from(
+    [0x0A000001, 0x0A000002, 0x0A010203, 0xC0A80001, 0xC6336445]
+)
+_PORTS = st.sampled_from([0, 53, 80, 443, 55548])
+_PROTOS = st.sampled_from([6, 17])
+
+SHARD_COUNTS = (1, 2, 7)
+
+_SHM_OK = (
+    shmem.shared_memory_available()
+    and "fork" in __import__("multiprocessing").get_all_start_methods()
+)
+needs_shm = pytest.mark.skipif(
+    not _SHM_OK, reason="POSIX shared memory with fork unavailable"
+)
+
+
+@st.composite
+def flow_records(draw):
+    start = draw(st.floats(min_value=0.0, max_value=1200.0,
+                           allow_nan=False, allow_infinity=False))
+    return FlowRecord(
+        src_ip=draw(_IPS),
+        dst_ip=draw(_IPS),
+        src_port=draw(_PORTS),
+        dst_port=draw(_PORTS),
+        proto=draw(_PROTOS),
+        packets=draw(st.integers(min_value=0, max_value=100_000)),
+        bytes=draw(st.integers(min_value=0, max_value=10_000_000)),
+        start=start,
+        end=start + draw(st.floats(min_value=0.0, max_value=300.0,
+                                   allow_nan=False,
+                                   allow_infinity=False)),
+    )
+
+
+flow_lists = st.lists(flow_records(), min_size=0, max_size=60)
+
+
+def _table(flows) -> FlowTable:
+    return FlowTable.from_records(flows, cache_records=False)
+
+
+def _shm_names() -> set[str]:
+    try:
+        return {p.name for p in Path("/dev/shm").iterdir()}
+    except OSError:
+        return set()
+
+
+# Worker tasks must be module-level (picklable by reference).
+
+def _echo_bytes(table: FlowTable) -> bytes:
+    return table_to_bytes(table)
+
+
+def _echo_all_bytes(tables: list[FlowTable], tag: int) -> tuple:
+    return tag, [table_to_bytes(table) for table in tables]
+
+
+def _crash(_table: FlowTable) -> None:
+    os._exit(13)
+
+
+# -- the row-block header ----------------------------------------------------
+
+
+class TestRowHeader:
+    def test_roundtrip(self):
+        header = shmem.pack_row_header(12345)
+        assert len(header) == shmem.ROW_HEADER_SIZE == 32
+        assert shmem.unpack_row_header(header) == 12345
+
+    def test_rejects_foreign_bytes(self):
+        with pytest.raises(CodecError, match="truncated"):
+            shmem.unpack_row_header(b"RPSM")
+        with pytest.raises(CodecError, match="magic"):
+            shmem.unpack_row_header(b"XXXX" + bytes(28))
+        # A foreign schema version must fail loudly, never misparse.
+        import struct
+        bad = struct.Struct("<4sHHQ16x").pack(b"RPSM", 9999, 0, 1)
+        with pytest.raises(CodecError, match="schema version"):
+            shmem.unpack_row_header(bad)
+
+
+# -- RowBuffer ---------------------------------------------------------------
+
+
+@needs_shm
+class TestRowBuffer:
+    @given(flows=flow_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_write_attach_is_byte_identical(self, flows):
+        table = _table(flows)
+        with shmem.RowBuffer(shmem.block_bytes(len(table))) as buffer:
+            descriptor = buffer.write(table)
+            view = shmem.attach_slice(descriptor)
+            assert table_to_bytes(view) == table_to_bytes(table)
+            assert not view._data.flags.writeable if len(view) else True
+            del view
+            shmem.detach_slices()
+
+    @given(flows=flow_lists, seed=st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_write_masked_equals_select(self, flows, seed):
+        table = _table(flows)
+        mask = np.random.default_rng(seed) \
+            .integers(0, 2, len(table)).astype(bool)
+        with shmem.RowBuffer(shmem.block_bytes(len(table))) as buffer:
+            descriptor = buffer.write_masked(table, mask)
+            view = shmem.attach_slice(descriptor)
+            assert table_to_bytes(view) == \
+                table_to_bytes(table.select(mask))
+            del view
+            shmem.detach_slices()
+
+    def test_capacity_overflow_raises(self):
+        table = _table([])
+        with shmem.RowBuffer(shmem.ROW_HEADER_SIZE) as buffer:
+            buffer.write(table)
+            with pytest.raises(FlowError, match="full"):
+                buffer.write(table)
+
+    def test_rewind_refuses_while_acquired(self):
+        with shmem.RowBuffer(1024) as buffer:
+            buffer.acquire()
+            with pytest.raises(FlowError, match="outstanding"):
+                buffer.rewind()
+            buffer.release()
+            buffer.rewind()
+            with pytest.raises(FlowError, match="without matching"):
+                buffer.release()
+
+    def test_descriptor_row_mismatch_rejected(self):
+        table = _table([])
+        with shmem.RowBuffer(1024) as buffer:
+            descriptor = buffer.write(table)
+            lying = shmem.RowSlice(
+                descriptor.segment, descriptor.offset, 7
+            )
+            with pytest.raises(CodecError, match="descriptor says 7"):
+                shmem.attach_slice(lying)
+            shmem.detach_slices()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        buffer = shmem.RowBuffer(1024)
+        name = buffer.name
+        assert name.lstrip("/") in _shm_names()
+        buffer.close()
+        buffer.close()
+        assert name.lstrip("/") not in _shm_names()
+        with pytest.raises(FlowError, match="closed"):
+            buffer.write(_table([]))
+
+
+# -- executor IPC equivalence ------------------------------------------------
+
+
+@needs_shm
+class TestExecutorIpcEquivalence:
+    @given(flows=flow_lists, shards=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=6, deadline=None)
+    def test_map_tables_identical_across_transports(
+        self, flows, shards
+    ):
+        table = _table(flows)
+        spec = PartitionSpec(shards=shards)
+        ids = shard_ids(table, spec) if len(table) else None
+        tables = [
+            table.select(ids == shard) if ids is not None
+            else table.select(np.zeros(0, dtype=bool))
+            for shard in range(shards)
+        ]
+        with ShardExecutor(1) as serial:
+            reference = serial.map_tables(_echo_bytes, tables)
+        for ipc in ("shm", "frames"):
+            with ShardExecutor(
+                2, use_processes=True, ipc=ipc
+            ) as executor:
+                assert executor.ipc_mode == ipc
+                assert executor.map_tables(_echo_bytes, tables) \
+                    == reference
+
+    @given(flows=flow_lists, shards=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=6, deadline=None)
+    def test_map_masked_identical_across_transports(
+        self, flows, shards
+    ):
+        table = _table(flows)
+        spec = PartitionSpec(shards=shards)
+        ids = shard_ids(table, spec) if len(table) else \
+            np.zeros(0, dtype=np.int64)
+        masks = [ids == shard for shard in range(shards)]
+        with ShardExecutor(1) as serial:
+            reference = serial.map_masked(_echo_bytes, table, masks)
+        for ipc in ("shm", "frames"):
+            with ShardExecutor(
+                2, use_processes=True, ipc=ipc
+            ) as executor:
+                assert executor.map_masked(_echo_bytes, table, masks) \
+                    == reference
+
+    def test_map_broadcast_identical_across_transports(self):
+        rng = np.random.default_rng(5)
+        count = 500
+        starts = rng.uniform(0.0, 600.0, count)
+        table = FlowTable.from_columns(
+            src_ip=rng.integers(0x0A000000, 0x0A000010, count),
+            dst_ip=rng.integers(0x0A000000, 0x0A000010, count),
+            src_port=rng.integers(1024, 1100, count),
+            dst_port=rng.choice(np.array([53, 80, 443]), count),
+            proto=rng.choice(np.array([6, 17]), count),
+            packets=rng.integers(1, 200, count),
+            bytes=rng.integers(40, 10_000, count),
+            start=starts,
+            end=starts + 1.0,
+        )
+        pieces = [table.select(slice(0, 200)),
+                  table.select(slice(200, 201)),
+                  table.select(slice(201, 201)),  # empty piece
+                  table.select(slice(201, count))]
+        extras = [(0,), (1,), (2,)]
+        with ShardExecutor(1) as serial:
+            reference = serial.map_broadcast(
+                _echo_all_bytes, pieces, extras
+            )
+        for ipc in ("shm", "frames"):
+            with ShardExecutor(
+                2, use_processes=True, ipc=ipc
+            ) as executor:
+                assert executor.map_broadcast(
+                    _echo_all_bytes, pieces, extras
+                ) == reference
+
+    def test_shm_copies_descriptors_not_rows(self):
+        # The perf contract behind the descriptor path: per-task bytes
+        # through the pipe drop by >= 10x versus frames on real shards.
+        rng = np.random.default_rng(1)
+        count = 8192
+        starts = rng.uniform(0.0, 600.0, count)
+        table = FlowTable.from_columns(
+            src_ip=rng.integers(0x0A000000, 0x0A000010, count),
+            dst_ip=rng.integers(0x0A000000, 0x0A000010, count),
+            src_port=rng.integers(1024, 1100, count),
+            dst_port=rng.choice(np.array([53, 80, 443]), count),
+            proto=rng.choice(np.array([6, 17]), count),
+            packets=rng.integers(1, 200, count),
+            bytes=rng.integers(40, 10_000, count),
+            start=starts,
+            end=starts + 1.0,
+        )
+        halves = [table.select(slice(0, count // 2)),
+                  table.select(slice(count // 2, count))]
+        per_task = {}
+        for ipc in ("shm", "frames"):
+            with ShardExecutor(
+                2, use_processes=True, ipc=ipc
+            ) as executor:
+                executor.map_tables(_echo_bytes, halves)
+                per_task[ipc] = executor.ipc_stats.copied_per_task()
+        assert per_task["frames"] >= 10 * per_task["shm"]
+        assert per_task["shm"] <= 256  # descriptors, not rows
+
+    def test_explicit_shm_unavailable_raises(self, monkeypatch):
+        monkeypatch.setattr(shmem, "_AVAILABLE", False)
+        with pytest.raises(ReproError, match="ipc='shm'"):
+            ShardExecutor(2, use_processes=True, ipc="shm")
+        # auto degrades instead of raising.
+        executor = ShardExecutor(2, use_processes=True, ipc="auto")
+        assert executor.ipc_mode == "frames"
+        executor.close()
+
+
+# -- serial path purity (no codec, no copies) --------------------------------
+
+
+class TestSerialPathNeverSerialises:
+    def test_serial_map_calls_no_codec(self, monkeypatch):
+        import repro.parallel.executor as executor_module
+
+        def _forbidden(*_args, **_kwargs):
+            raise AssertionError(
+                "serial executor path must not touch the codec"
+            )
+
+        monkeypatch.setattr(
+            executor_module, "table_to_bytes", _forbidden
+        )
+        monkeypatch.setattr(
+            executor_module, "table_from_bytes", _forbidden
+        )
+        table = _table([])
+        with ShardExecutor(1) as executor:
+            assert executor.ipc_mode == "serial"
+            # Tables pass through by identity — same object, no copy.
+            results = executor.map_tables(lambda t: t, [table])
+            assert results[0] is table
+            masks = [np.zeros(0, dtype=bool)]
+            executor.map_masked(lambda t: len(t), table, masks)
+            executor.map_broadcast(
+                lambda ts, tag: (tag, len(ts)), [table], [(0,)]
+            )
+            assert executor.ipc_stats.copied_bytes == 0
+            assert executor.ipc_stats.shared_bytes == 0
+
+
+# -- sharded stream engine: shm == frames == serial --------------------------
+
+
+def _stream_data(seed: int):
+    rng = np.random.default_rng(seed)
+    count = 900
+    start = np.sort(rng.uniform(0.0, 1500.0, count))
+    training = FlowTrace(
+        FlowTable.from_columns(
+            src_ip=rng.integers(0x0A000000, 0x0A000020, count),
+            dst_ip=rng.integers(0x0A000000, 0x0A000020, count),
+            src_port=rng.integers(1024, 1100, count),
+            dst_port=rng.choice(np.array([53, 80, 443]), count),
+            proto=rng.choice(np.array([6, 17]), count),
+            packets=rng.integers(1, 200, count),
+            bytes=rng.integers(40, 10_000, count),
+            start=start,
+            end=start + 1.0,
+        ),
+        bin_seconds=300.0,
+        origin=0.0,
+    )
+    live_start = rng.uniform(0.0, 1200.0, count)
+    rng.shuffle(live_start)
+    live = FlowTable.from_columns(
+        src_ip=rng.integers(0x0A000000, 0x0A000020, count),
+        dst_ip=rng.integers(0x0A000000, 0x0A000020, count),
+        src_port=rng.integers(1024, 1100, count),
+        dst_port=rng.choice(np.array([53, 80, 443]), count),
+        proto=rng.choice(np.array([6, 17]), count),
+        packets=rng.integers(1, 200, count),
+        bytes=rng.integers(40, 10_000, count),
+        start=live_start,
+        end=live_start + 1.0,
+    )
+    return training, live
+
+
+def _window_keys(results, engine):
+    keys = []
+    for result in results:
+        keys.append(
+            (
+                result.window.index,
+                result.window.flows,
+                [
+                    (
+                        alarm.alarm_id,
+                        alarm.score,
+                        alarm.label,
+                        tuple(m.render() for m in alarm.metadata),
+                    )
+                    for alarm in result.alarms
+                ],
+                sorted(result.merged),
+            )
+        )
+    return keys, (
+        engine.stats.flows,
+        engine.stats.windows_closed,
+        engine.stats.alarms,
+        engine.stats.late_dropped,
+    )
+
+
+@needs_shm
+class TestStreamIpcEquivalence:
+    @given(shards=st.sampled_from(SHARD_COUNTS), seed=st.integers(0, 2))
+    @settings(max_examples=6, deadline=None)
+    def test_shm_frames_serial_byte_identity(self, shards, seed):
+        training, live = _stream_data(seed)
+        detector = NetReflexDetector()
+        detector.train(training)
+
+        def run(**kwargs):
+            engine = ShardedStreamEngine(
+                [streaming_adapter(detector)],
+                window_seconds=300.0,
+                origin=0.0,
+                lateness_seconds=None,
+                partition=PartitionSpec(shards=shards, seed=seed),
+                **kwargs,
+            )
+            try:
+                results = engine.run(table_chunks(live, 257))
+                return _window_keys(results, engine)
+            finally:
+                engine.close()
+
+        serial = run(workers=1)
+        for ipc in ("shm", "frames"):
+            with ShardExecutor(
+                2, use_processes=True, ipc=ipc
+            ) as executor:
+                assert run(workers=2, executor=executor) == serial
+
+    def test_single_row_window_fans_out(self):
+        # Degenerate shards: one row hashes into exactly one of 7
+        # shards; the other 6 are empty and must not fan out at all.
+        training, live = _stream_data(0)
+        detector = NetReflexDetector()
+        detector.train(training)
+        one = live.select(slice(0, 1))
+        with ShardExecutor(2, use_processes=True, ipc="shm") as executor:
+            engine = ShardedStreamEngine(
+                [streaming_adapter(detector)],
+                window_seconds=300.0,
+                origin=0.0,
+                lateness_seconds=0.0,
+                partition=PartitionSpec(shards=7),
+                executor=executor,
+            )
+            try:
+                engine.run([one])
+                engine.finish()
+                assert engine.stats.flows == 1
+                assert executor.ipc_stats.tasks == 1
+            finally:
+                engine.close()
+
+
+# -- /dev/shm hygiene --------------------------------------------------------
+
+
+@needs_shm
+class TestShmHygiene:
+    def test_engine_close_leaves_no_segments(self):
+        training, live = _stream_data(1)
+        detector = NetReflexDetector()
+        detector.train(training)
+        before = _shm_names()
+        engine = ShardedStreamEngine(
+            [streaming_adapter(detector)],
+            workers=2,
+            ipc="shm",
+            window_seconds=300.0,
+            origin=0.0,
+            lateness_seconds=0.0,
+        )
+        engine.run(table_chunks(live, 300))
+        engine.close()
+        assert _shm_names() <= before
+
+    def test_worker_crash_leaves_no_segments(self):
+        before = _shm_names()
+        table = _table([])
+        executor = ShardExecutor(2, use_processes=True, ipc="shm")
+        try:
+            with pytest.raises(Exception):
+                executor.map_tables(_crash, [table, table])
+        finally:
+            executor.close()
+        assert _shm_names() <= before
+
+    def test_interpreter_unwind_unlinks_segments(self, tmp_path):
+        # The SIGINT path: KeyboardInterrupt unwinds to a normal
+        # interpreter exit, where the atexit backstop closes every
+        # live parent-owned segment.
+        script = tmp_path / "unwind.py"
+        script.write_text(
+            "from repro.flows import shmem\n"
+            "buffer = shmem.RowBuffer(4096)\n"
+            "print(buffer.name.lstrip('/'), flush=True)\n"
+            "raise KeyboardInterrupt\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env,
+        )
+        name = proc.stdout.strip()
+        assert name  # the segment existed
+        assert proc.returncode != 0  # KeyboardInterrupt propagated
+        assert name not in _shm_names()
+
+
+# -- group fan-outs and the response channel ---------------------------------
+
+
+def _echo_group_bytes(table: FlowTable) -> bytes:
+    return table_to_bytes(table)
+
+
+class TestGroupFanOut:
+    """write_concat + map_table_groups: one block per group, replies
+    through parent-reserved response slots."""
+
+    @needs_shm
+    @given(flows=flow_lists, pieces=st.sampled_from((1, 2, 3)))
+    @settings(max_examples=10, deadline=None)
+    def test_write_concat_equals_concat(self, flows, pieces):
+        table = _table(flows)
+        step = max(1, -(-len(table) // pieces))
+        parts = [
+            table.select(slice(start, min(start + step, len(table))))
+            for start in range(0, max(len(table), 1), step)
+        ]
+        with shmem.RowBuffer(1 << 16) as buffer:
+            descriptor = buffer.write_concat(parts)
+            assert descriptor.rows == len(table)
+            view = shmem.attach_slice(descriptor)
+            assert table_to_bytes(view) == table_to_bytes(table)
+            del view
+            shmem.detach_slices()
+
+    @needs_shm
+    def test_write_concat_empty_group(self):
+        with shmem.RowBuffer(1 << 12) as buffer:
+            descriptor = buffer.write_concat([])
+            assert descriptor.rows == 0
+
+    @needs_shm
+    def test_response_slot_roundtrip(self):
+        with shmem.RowBuffer(1 << 16) as buffer:
+            offset = buffer.reserve_block(4096)
+            payload = b"partial payload bytes"
+            assert shmem.write_response(
+                buffer.name, offset, 4096, payload
+            )
+            assert buffer.read_response(offset) == payload
+            shmem.detach_slices()
+
+    @needs_shm
+    def test_response_overflow_refused(self):
+        with shmem.RowBuffer(1 << 16) as buffer:
+            capacity = shmem.ROW_HEADER_SIZE + 4
+            offset = buffer.reserve_block(capacity)
+            assert not shmem.write_response(
+                buffer.name, offset, capacity, b"too large for slot"
+            )
+            shmem.detach_slices()
+
+    @needs_shm
+    def test_unwritten_slot_read_raises(self):
+        with shmem.RowBuffer(1 << 16) as buffer:
+            offset = buffer.reserve_block(4096)
+            with pytest.raises(CodecError, match="magic"):
+                buffer.read_response(offset)
+
+    def test_reserve_block_respects_capacity(self):
+        if not _SHM_OK:
+            pytest.skip("POSIX shared memory unavailable")
+        with shmem.RowBuffer(shmem.ROW_HEADER_SIZE) as buffer:
+            with pytest.raises(FlowError, match="full"):
+                buffer.reserve_block(1 << 20)
+
+    @given(flows=flow_lists, pieces=st.sampled_from((1, 2, 7)))
+    @settings(max_examples=6, deadline=None)
+    def test_map_table_groups_identical_across_transports(
+        self, flows, pieces
+    ):
+        table = _table(flows)
+        step = max(1, -(-len(table) // pieces))
+        groups = [
+            [table.select(slice(start, min(start + step, len(table))))]
+            for start in range(0, max(len(table), 1), step)
+        ]
+        with ShardExecutor(1) as serial:
+            reference = serial.map_table_groups(
+                _echo_group_bytes, groups
+            )
+        for ipc in ("shm", "frames"):
+            if ipc == "shm" and not _SHM_OK:
+                continue
+            with ShardExecutor(
+                2, use_processes=True, ipc=ipc
+            ) as executor:
+                assert executor.map_table_groups(
+                    _echo_group_bytes, groups
+                ) == reference
+
+    @needs_shm
+    def test_oversized_reply_falls_back_to_pipe(self, monkeypatch):
+        # Slots sized to nothing force every reply through the pipe;
+        # results must be unaffected.
+        from repro.parallel import executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "_RESPONSE_SLOT_BASE",
+            shmem.ROW_HEADER_SIZE,
+        )
+        monkeypatch.setattr(
+            executor_module, "_RESPONSE_SLOT_PER_ROW", 0
+        )
+        table = _table([])
+        with ShardExecutor(1) as serial:
+            reference = serial.map_table_groups(
+                _echo_group_bytes, [[table], [table]]
+            )
+        with ShardExecutor(
+            2, use_processes=True, ipc="shm"
+        ) as executor:
+            assert executor.map_table_groups(
+                _echo_group_bytes, [[table], [table]]
+            ) == reference
+
+    def test_parallelism_caps_at_cores(self):
+        with ShardExecutor(1) as serial:
+            assert serial.parallelism == 1
+        with ShardExecutor(4, use_processes=True) as executor:
+            expected = min(4, os.cpu_count() or 1)
+            assert executor.parallelism == expected
