@@ -32,9 +32,9 @@ are byte-identical to the legacy paths (asserted by
 
 from __future__ import annotations
 
-import time
+import logging
 import tomllib
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -61,6 +61,7 @@ from repro.flows.flowio import (
 from repro.flows.record import FlowFeature
 from repro.flows.store import FlowStore
 from repro.flows.trace import FlowTrace
+from repro.obs import metrics as obs_metrics, trace as obs_trace
 from repro.stream import (
     ReplayDriver,
     ShardedStreamEngine,
@@ -81,6 +82,8 @@ __all__ = [
     "parse_hint",
     "load_spec",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 # -- public result type -------------------------------------------------------
@@ -226,12 +229,31 @@ class Session:
         if runner is None:  # pragma: no cover - specs validate mode
             raise SpecError(f"unknown mode {mode!r}",
                             field="execution.mode")
-        started = time.perf_counter()
-        result: RunResult = runner()
-        result.timings.setdefault(
-            "total", time.perf_counter() - started
-        )
+        if self.spec.sink.metrics_port is not None:
+            # Sticky for the process: the spec asked for telemetry, so
+            # every instrumented layer this run touches records.
+            obs_metrics.enable()
+        logger.debug("running session mode %s", mode)
+        with obs_trace.span(f"session.{mode}") as total:
+            result: RunResult = runner()
+        result.timings.setdefault("total", total.seconds)
         return result
+
+    def _serve_metrics(
+        self, status: Callable[[], dict[str, Any]]
+    ):
+        """Start the /metrics + /status endpoint when the spec asks.
+
+        Returns the started server or ``None``; without a
+        ``sink.metrics_port`` no socket is ever opened.
+        """
+        port = self.spec.sink.metrics_port
+        if port is None:
+            return None
+        from repro.obs.serve import MetricsServer
+
+        obs_metrics.enable()
+        return MetricsServer(port=port, status=status).start()
 
     # -- shared assembly ---------------------------------------------------
 
@@ -354,18 +376,16 @@ class Session:
         execution = self.spec.execution
         source = self._bounded_source("batch")
         timings: dict[str, float] = {}
-        tick = time.perf_counter()
-        trace = source.trace()
-        timings["load"] = time.perf_counter() - tick
+        with obs_trace.span("batch.load", timings, "load"):
+            trace = source.trace()
         external = self._training_trace()
         if external is not None:
             training, tail = external, trace
         else:
             training, tail, _ = self._split_trace(trace)
         detector = self._detector()
-        tick = time.perf_counter()
-        detector.train(training)
-        timings["train"] = time.perf_counter() - tick
+        with obs_trace.span("batch.train", timings, "train"):
+            detector.train(training)
         if self.on_start is not None:
             self.on_start({
                 "mode": "batch",
@@ -373,17 +393,16 @@ class Session:
                 "train_flows": len(training),
                 "flows": len(tail),
             })
-        tick = time.perf_counter()
-        if execution.workers > 1:
-            from repro.parallel import parallel_detect
+        with obs_trace.span("batch.detect", timings, "detect"):
+            if execution.workers > 1:
+                from repro.parallel import parallel_detect
 
-            alarms = parallel_detect(
-                detector, tail, workers=execution.workers,
-                ipc=execution.ipc,
-            )
-        else:
-            alarms = detector.detect(tail)
-        timings["detect"] = time.perf_counter() - tick
+                alarms = parallel_detect(
+                    detector, tail, workers=execution.workers,
+                    ipc=execution.ipc,
+                )
+            else:
+                alarms = detector.detect(tail)
         triage: list[TriageResult] = []
         statuses: dict[str, tuple[str, str]] = {}
         open_count = len(alarms)
@@ -407,11 +426,11 @@ class Session:
                 try:
                     system.ingest(alarms)
                     if execution.triage:
-                        tick = time.perf_counter()
-                        triage = system.process_open_alarms(
-                            skip_errors=True
-                        )
-                        timings["triage"] = time.perf_counter() - tick
+                        with obs_trace.span("batch.triage", timings,
+                                            "triage"):
+                            triage = system.process_open_alarms(
+                                skip_errors=True
+                            )
                 finally:
                     system.close()
                 statuses = {
@@ -474,12 +493,12 @@ class Session:
         extractor = AnomalyExtractor(
             config.extraction, workers=execution.workers
         )
-        tick = time.perf_counter()
-        try:
-            report = extractor.extract(alarm, interval, baseline)
-        finally:
-            extractor.close()
-        timings = {"extract": time.perf_counter() - tick}
+        timings: dict[str, float] = {}
+        with obs_trace.span("extract.extract", timings, "extract"):
+            try:
+                report = extractor.extract(alarm, interval, baseline)
+            finally:
+                extractor.close()
         verdict = validate_report(report)
         result = TriageResult(alarm=alarm, report=report, verdict=verdict)
         reports = self._write_reports([result])
@@ -547,9 +566,8 @@ class Session:
                 execution.window_seconds or self.spec.source.bin_seconds
             )
         detector = self._detector()
-        tick = time.perf_counter()
-        detector.train(training)
-        timings["train"] = time.perf_counter() - tick
+        with obs_trace.span("stream.train", timings, "train"):
+            detector.train(training)
         if self.on_start is not None:
             self.on_start({
                 "mode": "stream",
@@ -608,31 +626,38 @@ class Session:
         interrupted = False
         flush_error: str | None = None
         replay_stats = None
-        tick = time.perf_counter()
-        try:
+        server = self._serve_metrics(lambda: {
+            "mode": "stream",
+            "stats": asdict(engine.stats),
+            "windows": len(windows),
+        })
+        with obs_trace.span("stream.run", timings, "stream"):
             try:
-                if tail is not None:
-                    driver = ReplayDriver(
-                        tail,
-                        speedup=execution.speedup,
-                        chunk_rows=execution.chunk_rows,
-                    )
-                    _, replay_stats = driver.replay(engine)
-                else:
-                    engine.run(source.chunks(execution.chunk_rows))
-            except KeyboardInterrupt:
-                # A paced replay is routinely cut short from the
-                # keyboard; seal what the watermark allows and return a
-                # clean partial result even if sealing itself fails
-                # (e.g. a worker pool torn down by the same interrupt).
-                interrupted = True
                 try:
-                    engine.finish()
-                except Exception as exc:
-                    flush_error = str(exc)
-        finally:
-            engine.close()
-        timings["stream"] = time.perf_counter() - tick
+                    if tail is not None:
+                        driver = ReplayDriver(
+                            tail,
+                            speedup=execution.speedup,
+                            chunk_rows=execution.chunk_rows,
+                        )
+                        _, replay_stats = driver.replay(engine)
+                    else:
+                        engine.run(source.chunks(execution.chunk_rows))
+                except KeyboardInterrupt:
+                    # A paced replay is routinely cut short from the
+                    # keyboard; seal what the watermark allows and
+                    # return a clean partial result even if sealing
+                    # itself fails (e.g. a worker pool torn down by
+                    # the same interrupt).
+                    interrupted = True
+                    try:
+                        engine.finish()
+                    except Exception as exc:
+                        flush_error = str(exc)
+            finally:
+                engine.close()
+                if server is not None:
+                    server.stop()
         engine_stats = engine.stats
         stats: dict[str, Any] = {
             "flows": engine_stats.flows,
@@ -647,6 +672,8 @@ class Session:
             stats["rate"] = round(replay_stats.flows_per_second)
             stats["speedup"] = round(replay_stats.achieved_speedup)
         payload: dict[str, Any] = {}
+        if server is not None:
+            payload["metrics_port"] = server.port
         if flush_error is not None:
             payload["flush_error"] = flush_error
         if sink.archive:
@@ -684,6 +711,11 @@ class Session:
             )
         reader = source.reader()
         db = AlarmDatabase(self.spec.sink.alarmdb)
+        timings: dict[str, float] = {}
+        server = self._serve_metrics(lambda: {
+            "mode": "triage",
+            "archive": source.describe(),
+        })
         try:
             system = ExtractionSystem.from_archive(
                 reader,
@@ -693,12 +725,13 @@ class Session:
                 ipc=execution.ipc,
             )
             open_before = db.count("open")
-            tick = time.perf_counter()
-            try:
-                results = system.process_open_alarms(skip_errors=True)
-            finally:
-                system.close()
-            timings = {"triage": time.perf_counter() - tick}
+            with obs_trace.span("triage.process", timings, "triage"):
+                try:
+                    results = system.process_open_alarms(
+                        skip_errors=True
+                    )
+                finally:
+                    system.close()
             stats = {
                 "open_before": open_before,
                 "triaged": len(results),
@@ -710,17 +743,22 @@ class Session:
             }
         finally:
             db.close()
+            if server is not None:
+                server.stop()
         reports = self._write_reports(results)
+        payload: dict[str, Any] = {
+            "archive_dir": source.describe(),
+            "reports": reports,
+            "statuses": statuses,
+        }
+        if server is not None:
+            payload["metrics_port"] = server.port
         return RunResult(
             mode="triage",
             triage=results,
             stats=stats,
             timings=timings,
-            payload={
-                "archive_dir": source.describe(),
-                "reports": reports,
-                "statuses": statuses,
-            },
+            payload=payload,
         )
 
     # -- ad-hoc query --------------------------------------------------------
@@ -764,45 +802,47 @@ class Session:
             )
             reader.executor = executor
         payload: dict[str, Any] = {}
-        tick = time.perf_counter()
-        try:
-            if execution.stats:
-                counts = store.count(start, end, execution.filter)
-                matched = counts.flows
-                payload.update({"flows": None, "stats": counts})
-            elif execution.top and reader is not None:
-                matched = store.count(
-                    start, end, execution.filter
-                ).flows
-                feature = _feature(execution.top, "execution.top")
-                payload.update({
-                    "flows": None,
-                    "top_feature": feature,
-                    "top": store.top_feature_values(
-                        start, end, feature,
-                        n=execution.limit,
-                        flow_filter=execution.filter,
-                    ),
-                })
-            else:
-                flows = store.query_table(
-                    start, end, execution.filter
-                )
-                matched = len(flows)
-                payload["flows"] = flows
-                if execution.top:
-                    from repro.flows.aggregate import top_n
-
+        timings: dict[str, float] = {}
+        with obs_trace.span("query.run", timings, "query"):
+            try:
+                if execution.stats:
+                    counts = store.count(start, end, execution.filter)
+                    matched = counts.flows
+                    payload.update({"flows": None, "stats": counts})
+                elif execution.top and reader is not None:
+                    matched = store.count(
+                        start, end, execution.filter
+                    ).flows
                     feature = _feature(execution.top, "execution.top")
-                    payload["top_feature"] = feature
-                    payload["top"] = top_n(
-                        flows, feature, n=execution.limit
+                    payload.update({
+                        "flows": None,
+                        "top_feature": feature,
+                        "top": store.top_feature_values(
+                            start, end, feature,
+                            n=execution.limit,
+                            flow_filter=execution.filter,
+                        ),
+                    })
+                else:
+                    flows = store.query_table(
+                        start, end, execution.filter
                     )
-        finally:
-            if executor is not None:
-                executor.close()
-                reader.executor = None
-        timings = {"query": time.perf_counter() - tick}
+                    matched = len(flows)
+                    payload["flows"] = flows
+                    if execution.top:
+                        from repro.flows.aggregate import top_n
+
+                        feature = _feature(
+                            execution.top, "execution.top"
+                        )
+                        payload["top_feature"] = feature
+                        payload["top"] = top_n(
+                            flows, feature, n=execution.limit
+                        )
+            finally:
+                if executor is not None:
+                    executor.close()
+                    reader.executor = None
         if hasattr(store, "last_scan"):
             scan = store.last_scan
         payload["scan"] = scan if payload.get("flows") is not None \
@@ -831,13 +871,13 @@ class Session:
                 "synth mode needs an output trace path",
                 field="sink.trace_out",
             )
-        tick = time.perf_counter()
-        labeled = source.labeled()
-        packets = write_binary(
-            labeled.trace, out, boot_time=0.0,
-            sampling_rate=source.sampling_rate,
-        )
-        timings = {"synth": time.perf_counter() - tick}
+        timings: dict[str, float] = {}
+        with obs_trace.span("synth.render", timings, "synth"):
+            labeled = source.labeled()
+            packets = write_binary(
+                labeled.trace, out, boot_time=0.0,
+                sampling_rate=source.sampling_rate,
+            )
         return RunResult(
             mode="synth",
             stats={"flows": len(labeled.trace), "packets": packets},
@@ -881,10 +921,13 @@ class Session:
         }
         if "spill_rows" in options:
             writer_options["spill_rows"] = options["spill_rows"]
-        tick = time.perf_counter()
-        with ArchiveWriter(sink.archive, **writer_options) as writer:
-            rows = writer.ingest_chunks(source.chunks(FILE_CHUNK_ROWS))
-        timings = {"ingest": time.perf_counter() - tick}
+        timings: dict[str, float] = {}
+        with obs_trace.span("ingest.load", timings, "ingest"):
+            with ArchiveWriter(sink.archive,
+                               **writer_options) as writer:
+                rows = writer.ingest_chunks(
+                    source.chunks(FILE_CHUNK_ROWS)
+                )
         stats = ArchiveReader(sink.archive).stats()
         return RunResult(
             mode="ingest",
@@ -903,8 +946,9 @@ class Session:
 
         source = self._archive_source("compact")
         reader = source.reader()
-        tick = time.perf_counter()
-        result = compact_archive(source.describe(), reader=reader)
+        timings: dict[str, float] = {}
+        with obs_trace.span("compact.run", timings, "compact"):
+            result = compact_archive(source.describe(), reader=reader)
         return RunResult(
             mode="compact",
             stats={
@@ -913,7 +957,7 @@ class Session:
                 "partitions_after": result.partitions_after,
                 "rows_compacted": result.rows_compacted,
             },
-            timings={"compact": time.perf_counter() - tick},
+            timings=timings,
             payload={"result": result},
         )
 
@@ -1119,6 +1163,13 @@ class SessionBuilder:
     def reports(self, directory: str) -> "SessionBuilder":
         """Write rendered Table-1 triage reports into a directory."""
         self._sink = replace(self._sink, report_dir=directory)
+        return self
+
+    def serve(self, port: int = 0) -> "SessionBuilder":
+        """Serve live ``/metrics`` + ``/status`` on a loopback port
+        during stream/triage runs (``0`` picks an ephemeral port,
+        reported in ``RunResult.payload["metrics_port"]``)."""
+        self._sink = replace(self._sink, metrics_port=port)
         return self
 
     # -- callbacks / finalization -------------------------------------------

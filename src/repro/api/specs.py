@@ -321,9 +321,28 @@ class SinkSpec:
     #: Archive geometry for ``ingest`` (``window``, ``shards``, ``key``,
     #: ``seed``, ``spill_rows``).
     archive_options: dict = field(default_factory=dict)
+    #: TCP port for the live telemetry endpoint: ``Session.run()``
+    #: enables obs metrics and serves ``/metrics`` (Prometheus text)
+    #: and ``/status`` (JSON) on loopback for stream/triage runs.
+    #: ``0`` binds an ephemeral port (reported in the run's stats);
+    #: ``None`` (default) serves nothing and opens no socket.
+    metrics_port: int | None = field(default=None, metadata={
+        "flag": "--metrics-port",
+        "metavar": "PORT",
+        "help": "serve live /metrics (Prometheus) and /status (JSON) "
+                "on this loopback port during the run (0 = ephemeral)",
+    })
 
     def __post_init__(self) -> None:
         _check_mapping(self, "sink", "archive_options")
+        if self.metrics_port is not None:
+            _require(
+                isinstance(self.metrics_port, int)
+                and not isinstance(self.metrics_port, bool)
+                and 0 <= self.metrics_port <= 65535,
+                "sink.metrics_port",
+                f"must be a TCP port (0-65535): {self.metrics_port!r}",
+            )
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ write — the reader quarantines it.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import time
@@ -45,6 +46,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ArchiveError, CodecError
+from repro.obs import metrics as obs_metrics
+
+logger = logging.getLogger(__name__)
+
+_QUARANTINED = obs_metrics.counter(
+    "repro_archive_quarantined_total",
+    "Files refused by the archive and moved into quarantine/.",
+)
 from repro.flows.shmem import (
     ROW_HEADER_SIZE,
     pack_row_header,
@@ -288,6 +297,10 @@ class ArchiveLayout:
                     os.replace(
                         sidecar, self.quarantine_dir / sidecar.name
                     )
+        logger.warning(
+            "quarantined %s -> %s: %s", path.name, target, reason
+        )
+        _QUARANTINED.inc()
         return target
 
     # -- manifest ----------------------------------------------------------

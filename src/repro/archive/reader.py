@@ -57,12 +57,30 @@ from repro.flows.filter import FilterNode, compile_mask, parse_filter
 from repro.flows.record import FlowFeature, FlowRecord
 from repro.flows.table import FLOW_DTYPE, FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.parallel.executor import ShardExecutor
     from repro.parallel.partition import PartitionSpec
 
 __all__ = ["ScanStats", "ArchiveStats", "ArchiveReader"]
+
+_QUERIES = obs_metrics.counter(
+    "repro_archive_queries_total",
+    "Planned archive queries (rows, count and top alike).",
+)
+_ZONE_PRUNES = obs_metrics.counter(
+    "repro_archive_zone_prunes_total",
+    "Partitions skipped by zone maps (time and filter pruning).",
+)
+_PARTITIONS_SCANNED = obs_metrics.counter(
+    "repro_archive_partitions_scanned_total",
+    "Partitions whose payload a query actually opened.",
+)
+_PUSHDOWN = obs_metrics.counter(
+    "repro_archive_pushdown_total",
+    "Queries answered from sidecar metadata alone, by planner tier.",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -284,6 +302,19 @@ class ArchiveReader:
 
     # -- the pruned scan ---------------------------------------------------
 
+    def _note_plan(self, plan: QueryPlan) -> None:
+        """Publish one query's plan: ``last_plan`` plus obs counters."""
+        self.last_plan = plan
+        if obs_metrics.enabled():
+            _QUERIES.inc()
+            pruned = plan.pruned_time + plan.pruned_filter
+            if pruned:
+                _ZONE_PRUNES.inc(pruned)
+            if plan.scanned:
+                _PARTITIONS_SCANNED.inc(plan.scanned)
+            if plan.pushdown:
+                _PUSHDOWN.labels(tier=plan.pushdown).inc()
+
     def _window_tables(
         self,
         start: float,
@@ -342,7 +373,7 @@ class ArchiveReader:
             rows_returned=rows_returned,
             payload_bytes=payload_bytes,
         )
-        self.last_plan = QueryPlan(
+        self._note_plan(QueryPlan(
             query="rows",
             partitions=len(self._partitions),
             pruned_time=pruned_time,
@@ -350,7 +381,7 @@ class ArchiveReader:
             sidecar_answered=0,
             scanned=scanned,
             payload_bytes_read=payload_bytes,
-        )
+        ))
         return selected
 
     # -- FlowStore-compatible queries --------------------------------------
@@ -468,7 +499,7 @@ class ArchiveReader:
             byte_total += part_bytes
             lo = min(lo, part_lo)
             hi = max(hi, part_hi)
-        self.last_plan = QueryPlan(
+        self._note_plan(QueryPlan(
             query="count",
             partitions=len(self._partitions),
             pruned_time=pruned_time,
@@ -480,7 +511,7 @@ class ArchiveReader:
             ),
             pushdown="zone-map-stats" if not needs_scan else None,
             parallel_tasks=parallel,
-        )
+        ))
         if flows == 0:
             return TraceStats(
                 flows=0, packets=0, bytes=0, start=start, end=start
@@ -550,7 +581,7 @@ class ArchiveReader:
             payload_bytes_read=0,
         )
         if not candidates:
-            self.last_plan = QueryPlan(**plan)
+            self._note_plan(QueryPlan(**plan))
             return []
         if (
             mask_of is None
@@ -565,13 +596,13 @@ class ArchiveReader:
                 values, counts = merge_histograms(
                     [idx.histogram(column, by_packets) for idx in indexes]
                 )
-                self.last_plan = QueryPlan(
+                self._note_plan(QueryPlan(
                     **{
                         **plan,
                         "sidecar_answered": len(candidates),
                         "pushdown": "feature-index",
                     }
-                )
+                ))
                 return ranked_from_histogram(values, counts, n)
         parallel = 0
         if self._fan_out(candidates):
@@ -595,7 +626,7 @@ class ArchiveReader:
                 for p in candidates
             ]
         values, counts = merge_histograms(parts)
-        self.last_plan = QueryPlan(
+        self._note_plan(QueryPlan(
             **{
                 **plan,
                 "scanned": len(candidates),
@@ -604,7 +635,7 @@ class ArchiveReader:
                 ),
                 "parallel_tasks": parallel,
             }
-        )
+        ))
         return ranked_from_histogram(values, counts, n)
 
     def _fan_out(self, parts: list[Partition]) -> bool:

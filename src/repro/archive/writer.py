@@ -46,11 +46,25 @@ from repro.archive.layout import (
 from repro.errors import ArchiveError
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.parallel.partition import PartitionSpec
 
 __all__ = ["DEFAULT_SPILL_ROWS", "ArchiveWriter"]
+
+_PARTITIONS_WRITTEN = obs_metrics.counter(
+    "repro_archive_partitions_written_total",
+    "Partition files written (spills and sealed alike).",
+)
+_PARTITIONS_SEALED = obs_metrics.counter(
+    "repro_archive_partitions_sealed_total",
+    "Partitions written with the sealed flag (complete slices).",
+)
+_ROWS_ARCHIVED = obs_metrics.counter(
+    "repro_archive_rows_total",
+    "Flow rows persisted into partition files.",
+)
 
 #: Buffered rows per (slice, shard) before an automatic spill.
 DEFAULT_SPILL_ROWS = 65_536
@@ -230,6 +244,11 @@ class ArchiveWriter:
                 self.layout.fidx_path(path),
                 FeatureIndex.from_table(table).to_json().encode(),
             )
+        if obs_metrics.enabled():
+            _PARTITIONS_WRITTEN.inc()
+            if sealed:
+                _PARTITIONS_SEALED.inc()
+            _ROWS_ARCHIVED.inc(len(table))
         return path
 
     # -- buffered ingest ----------------------------------------------------

@@ -35,6 +35,7 @@ library error, ``130`` interrupted.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import tomllib
 from dataclasses import MISSING, fields
@@ -80,6 +81,21 @@ def exit_code_for(exc: ReproError) -> int:
         if isinstance(exc, cls):
             return code
     return 1
+
+
+def _configure_logging(level_name: str) -> None:
+    """Attach one stderr handler to the ``repro`` logger hierarchy.
+
+    The library itself never configures handlers (it only emits);
+    the CLI is where a human opted into seeing the log stream.
+    """
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level_name.upper()))
 
 
 def _workers_arg(text: str) -> int:
@@ -147,11 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize = _spec_parent(ExecutionSpec, ["anonymize"])
     train = _spec_parent(DetectorSpec, ["train_bins"])
     sinks = _spec_parent(SinkSpec, ["archive", "alarmdb"])
+    serve = _spec_parent(SinkSpec, ["metrics_port"])
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Anomaly extraction via frequent itemset mining "
         "(SIGCOMM'10 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="verbosity of the repro.* log stream on stderr "
+             "(default: warning)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -202,7 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     stream = sub.add_parser(
         "stream", help="online detection over a replayed trace",
-        parents=[train, workers, ipc, geometry, triage_flag, sinks],
+        parents=[train, workers, ipc, geometry, triage_flag, sinks,
+                 serve],
     )
     stream.add_argument("trace", help=".rpv5 trace path")
     stream.add_argument("--detector", default="netreflex",
@@ -281,11 +305,29 @@ def build_parser() -> argparse.ArgumentParser:
         "triage",
         help="triage open alarms in an alarm DB against the archive "
              "(the restart-recovery path)",
-        parents=[workers, ipc, anonymize],
+        parents=[workers, ipc, anonymize, serve],
     )
     a_triage.add_argument("--dir", required=True, help="archive directory")
     a_triage.add_argument("--alarmdb", required=True,
                           help="sqlite alarm DB file")
+
+    obs = sub.add_parser(
+        "obs", help="telemetry utilities over the repro.obs plane"
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    o_dump = osub.add_parser(
+        "dump",
+        help="run a session config with metrics enabled and print "
+             "the Prometheus exposition to stdout (summary goes to "
+             "stderr)",
+    )
+    o_dump.add_argument("config", help="session config (TOML)")
+    o_dump.add_argument(
+        "--set", action="append", default=[], dest="overrides",
+        metavar="SECTION.KEY=VALUE",
+        help="override any spec field (repeatable; values parse as "
+             "TOML, else strings)",
+    )
     return parser
 
 
@@ -616,13 +658,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         builder.archive(args.archive)
     if args.alarmdb:
         builder.alarmdb(args.alarmdb)
+    if args.metrics_port is not None:
+        builder.serve(args.metrics_port)
     return _finish(builder.spec(), builder.run())
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    spec = api.load_spec(args.config)
+def _parse_overrides(items: Sequence[str]) -> dict[str, dict[str, Any]]:
+    """``--set section.key=value`` items as nested override dicts."""
     overrides: dict[str, dict[str, Any]] = {}
-    for item in args.overrides:
+    for item in items:
         target, sep, raw = item.partition("=")
         section, dot, key = target.partition(".")
         if not sep or not dot or not section or not key:
@@ -634,6 +678,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except tomllib.TOMLDecodeError:
             value = raw
         overrides.setdefault(section, {})[key.strip()] = value
+    return overrides
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = api.load_spec(args.config)
+    overrides = _parse_overrides(args.overrides)
     if args.workers is not None:
         overrides.setdefault("execution", {})["workers"] = args.workers
     if overrides:
@@ -685,6 +735,8 @@ def _cmd_archive(args: argparse.Namespace) -> int:
                     ipc=args.ipc)
             .alarmdb(args.alarmdb)
         )
+        if args.metrics_port is not None:
+            builder.serve(args.metrics_port)
         return _finish(builder.spec(), builder.run())
 
     # ls / compact / stats: archive-management modes, same facade.
@@ -696,6 +748,23 @@ def _cmd_archive(args: argparse.Namespace) -> int:
     return _finish(builder.spec(), builder.run())
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.serve import render_prometheus
+
+    spec = api.load_spec(args.config)
+    overrides = _parse_overrides(args.overrides)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    obs_metrics.enable()
+    result = api.Session(spec).run()
+    print(result.summary(), file=sys.stderr)
+    # The exposition is the stdout artifact — pipeable straight into
+    # promtool / grep without the run's human-facing rendering.
+    sys.stdout.write(render_prometheus())
+    return 130 if result.interrupted else 0
+
+
 _COMMANDS = {
     "synth": _cmd_synth,
     "query": _cmd_query,
@@ -704,6 +773,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "archive": _cmd_archive,
     "run": _cmd_run,
+    "obs": _cmd_obs,
 }
 
 
@@ -711,6 +781,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

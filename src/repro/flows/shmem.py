@@ -42,6 +42,7 @@ and releases when all results are in.
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import secrets
 import struct
@@ -51,6 +52,18 @@ import numpy as np
 
 from repro.errors import CodecError, FlowError
 from repro.flows.table import FLOW_DTYPE, FLOW_SCHEMA_VERSION, FlowTable
+from repro.obs import metrics as obs_metrics
+
+logger = logging.getLogger(__name__)
+
+_SEGMENTS_LIVE = obs_metrics.gauge(
+    "repro_shm_segments_live",
+    "Parent-owned shared-memory segments currently linked.",
+)
+_BYTES_STAGED = obs_metrics.counter(
+    "repro_shm_bytes_staged_total",
+    "Row-block bytes (headers + rows) staged into shared segments.",
+)
 
 __all__ = [
     "ROW_HEADER_SIZE",
@@ -212,6 +225,11 @@ class RowBuffer:
         self._cursor = 0
         self._refs = 0
         _LIVE[self.name] = self
+        logger.debug(
+            "created shm segment %s (%d bytes)", self.name, self.capacity
+        )
+        if obs_metrics.enabled():
+            _SEGMENTS_LIVE.set(len(_LIVE))
 
     @property
     def name(self) -> str:
@@ -256,6 +274,8 @@ class RowBuffer:
                 offset=offset + ROW_HEADER_SIZE,
             )
         self._cursor = offset + needed
+        if obs_metrics.enabled():
+            _BYTES_STAGED.inc(needed)
         return offset, dest
 
     def write(self, table: FlowTable) -> RowSlice:
@@ -380,6 +400,9 @@ class RowBuffer:
             return
         self._shm = None
         _LIVE.pop(shm.name, None)
+        logger.debug("closed shm segment %s", shm.name)
+        if obs_metrics.enabled():
+            _SEGMENTS_LIVE.set(len(_LIVE))
         try:
             shm.close()
         except BufferError:

@@ -38,8 +38,27 @@ from repro.mining.fpgrowth import mine_fpgrowth
 from repro.mining.items import ItemsetSupport
 from repro.mining.maximal import closed_itemsets, maximal_itemsets
 from repro.mining.transactions import TransactionSet
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["ENGINES", "ExtendedAprioriConfig", "MiningOutcome", "ExtendedApriori"]
+
+_MINE_PASSES = obs_metrics.counter(
+    "repro_mining_passes_total",
+    "Fixed-threshold mining passes (each self-tuning iteration "
+    "pays one).",
+)
+_MINE_CANDIDATES = obs_metrics.counter(
+    "repro_mining_candidates_total",
+    "Frequent itemsets produced by mining passes, before reduction.",
+)
+_MINE_RUNS = obs_metrics.counter(
+    "repro_mining_runs_total",
+    "Self-tuned mining runs (one per triaged alarm window).",
+)
+_MINE_ITERATIONS = obs_metrics.counter(
+    "repro_mining_iterations_total",
+    "Threshold-tuning iterations spent across mining runs.",
+)
 
 ENGINES: dict[str, Callable[..., list[ItemsetSupport]]] = {
     "apriori": mine_apriori,
@@ -174,6 +193,10 @@ class ExtendedApriori:
             floor_packets=self.config.floor_packets,
         )
         frequent = self._frequent(transactions, min_flows, min_packets)
+        if obs_metrics.enabled():
+            _MINE_PASSES.inc()
+            if frequent:
+                _MINE_CANDIDATES.inc(len(frequent))
         reduced = reducer(frequent)
         reduced.sort(
             key=lambda s: (
@@ -262,6 +285,9 @@ class ExtendedApriori:
                 outcome.iterations = iteration
                 outcome.converged = True
                 outcome.history = history
+                if obs_metrics.enabled():
+                    _MINE_RUNS.inc()
+                    _MINE_ITERATIONS.inc(iteration)
                 return outcome
             if best is None or self._band_distance(count) < \
                     self._band_distance(len(best.itemsets)):
@@ -302,6 +328,9 @@ class ExtendedApriori:
             <= cfg.target_max_itemsets
         )
         final.history = history
+        if obs_metrics.enabled():
+            _MINE_RUNS.inc()
+            _MINE_ITERATIONS.inc(final.iterations)
         return final
 
     # -- helpers ------------------------------------------------------------------

@@ -1,0 +1,248 @@
+"""The serve sink: Prometheus text rendering + /metrics + /status.
+
+:func:`render_prometheus` turns the active registry into Prometheus
+text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
+headers from the descriptor table, cumulative ``_bucket{le=...}`` /
+``_sum`` / ``_count`` triples for histograms. It is pure — ``repro
+obs dump`` prints it one-shot without any server.
+
+:class:`MetricsServer` wraps it in a stdlib
+:class:`~http.server.ThreadingHTTPServer` on a daemon thread:
+
+- ``GET /metrics`` — Prometheus text of the active registry;
+- ``GET /status``  — JSON: the recent span tail plus whatever the
+  owning session's ``status`` callable reports (mode, live stream
+  stats, watermark lag).
+
+``Session.run()`` starts one for stream/triage specs that set
+``metrics_port`` (port 0 binds an ephemeral port; the bound port is
+reported in ``RunResult.payload["metrics_port"]``) and stops it when
+the run ends. Nothing here is imported by the hot layers — the
+endpoint is strictly an observer of the metrics/trace state.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "render_prometheus", "status_payload"]
+
+logger = logging.getLogger(__name__)
+
+CONTENT_TYPE_METRICS = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _merge_le(
+    labels: tuple[tuple[str, str], ...], bound: str
+) -> str:
+    pairs = labels + (("le", bound),)
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """Prometheus text for ``registry`` (default: active; '' if off)."""
+    if registry is None:
+        registry = metrics.active()
+    if registry is None:
+        return ""
+    counters = registry.counters()
+    gauges = registry.gauges()
+    hists = registry.histograms()
+    lines: list[str] = []
+    for name in sorted(metrics.descriptors()):
+        descriptor = metrics.descriptors()[name]
+        series_scalars = sorted(
+            (key, value)
+            for key, value in (
+                counters if descriptor.kind == "counter" else gauges
+            ).items()
+            if key[0] == name
+        ) if descriptor.kind in ("counter", "gauge") else []
+        series_hists = sorted(
+            (key, packed)
+            for key, packed in hists.items()
+            if key[0] == name
+        ) if descriptor.kind == "histogram" else []
+        if descriptor.kind == "histogram" and not series_hists:
+            continue
+        if descriptor.help:
+            lines.append(f"# HELP {name} {descriptor.help}")
+        lines.append(f"# TYPE {name} {descriptor.kind}")
+        if descriptor.kind in ("counter", "gauge"):
+            if not series_scalars:
+                # Declared but untouched: expose an explicit zero so
+                # dashboards see the family before first increment.
+                lines.append(f"{name} 0")
+            for (_, labels), value in series_scalars:
+                lines.append(
+                    f"{name}{_render_labels(labels)}"
+                    f" {_format_value(value)}"
+                )
+        else:
+            for (_, labels), packed in series_hists:
+                buckets, counts, total, count = packed
+                cumulative = 0
+                for bound, bucket_count in zip(buckets, counts):
+                    cumulative += bucket_count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_merge_le(labels, _format_value(float(bound)))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_merge_le(labels, '+Inf')} {count}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)}"
+                    f" {_format_value(total)}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def status_payload(
+    status: Callable[[], dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """The /status JSON body: span tail + the owner's live status."""
+    payload: dict[str, Any] = {
+        "spans": [
+            {"name": name, "seconds": seconds}
+            for name, seconds in trace.spans()
+        ],
+    }
+    if status is not None:
+        try:
+            payload.update(status())
+        except Exception as exc:  # pragma: no cover - defensive
+            payload["status_error"] = f"{type(exc).__name__}: {exc}"
+    return payload
+
+
+class MetricsServer:
+    """The /metrics + /status endpoint on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`. Binds ``host`` (default loopback) only — this is
+    an operator-local observability port, not a public listener.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        status: Callable[[], dict[str, Any]] | None = None,
+    ) -> None:
+        self._requested = port
+        self._host = host
+        self._status = status
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.port: int | None = None
+
+    def start(self) -> "MetricsServer":
+        status_fn = self._status
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = render_prometheus().encode("utf-8")
+                    ctype = CONTENT_TYPE_METRICS
+                elif path == "/status":
+                    body = json.dumps(
+                        status_payload(status_fn), default=str
+                    ).encode("utf-8")
+                    ctype = CONTENT_TYPE_JSON
+                else:
+                    self.send_error(404, "unknown path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:
+                logger.debug(
+                    "metrics endpoint: " + format, *args
+                )
+
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested), _Handler
+        )
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info(
+            "serving /metrics and /status on http://%s:%d",
+            self._host,
+            self.port,
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        logger.info("metrics endpoint on port %s stopped", self.port)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

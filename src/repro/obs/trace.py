@@ -1,0 +1,91 @@
+"""Lightweight span timing: ``with trace.span("detect.window"):``.
+
+Spans are wall-clock phase timers feeding a bounded in-memory log.
+They are deliberately *not* gated on the metrics registry: a span
+fires once per pipeline phase (load / train / detect / a window
+seal), so one ``perf_counter`` pair and a deque append are free at
+that granularity, and the session facade needs the durations
+unconditionally — ``RunResult.timings`` is fed straight from spans
+via the ``timings=/key=`` hooks, replacing the hand-rolled
+``perf_counter`` blocks it used to carry (keys byte-identical,
+equivalence-tested).
+
+The log is a process-global ``deque(maxlen=512)``: old spans fall
+off, memory stays bounded on long-running stream sessions, and the
+serve endpoint's ``/status`` JSON reports the recent tail.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import MutableMapping
+
+__all__ = ["Span", "clear", "span", "spans"]
+
+#: Bounded history of completed spans, oldest first.
+_LOG_LIMIT = 512
+_LOG: deque[tuple[str, float]] = deque(maxlen=_LOG_LIMIT)
+_LOCK = threading.Lock()
+
+
+class Span:
+    """One timed phase; use via the :func:`span` context manager.
+
+    ``seconds`` is valid after ``__exit__`` (and keeps the partial
+    elapsed time mid-flight via :meth:`elapsed`). When ``timings``
+    is given, the duration is also written into that mapping under
+    ``key`` (default: the span name) — the seam the session facade
+    uses to keep ``RunResult.timings`` unchanged.
+    """
+
+    __slots__ = ("name", "seconds", "_timings", "_key", "_started")
+
+    def __init__(
+        self,
+        name: str,
+        timings: MutableMapping[str, float] | None = None,
+        key: str | None = None,
+    ) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self._timings = timings
+        self._key = key if key is not None else name
+        self._started = 0.0
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        with _LOCK:
+            _LOG.append((self.name, self.seconds))
+        if self._timings is not None:
+            self._timings[self._key] = self.seconds
+        return False
+
+
+def span(
+    name: str,
+    timings: MutableMapping[str, float] | None = None,
+    key: str | None = None,
+) -> Span:
+    """A context manager timing one named phase into the span log."""
+    return Span(name, timings=timings, key=key)
+
+
+def spans() -> list[tuple[str, float]]:
+    """The recent span tail, oldest first: ``[(name, seconds), ...]``."""
+    with _LOCK:
+        return list(_LOG)
+
+
+def clear() -> None:
+    """Drop recorded spans (test isolation)."""
+    with _LOCK:
+        _LOG.clear()

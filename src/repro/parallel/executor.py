@@ -36,6 +36,7 @@ and receive the *decoded* table (a zero-copy view on the shm path).
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import pickle
@@ -50,8 +51,21 @@ from repro.errors import ReproError
 from repro.flows import shmem
 from repro.flows.flowio import table_from_bytes, table_to_bytes
 from repro.flows.table import FlowTable
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["IPC_MODES", "IpcStats", "ShardExecutor"]
+
+logger = logging.getLogger(__name__)
+
+_IPC_TASKS = obs_metrics.counter(
+    "repro_ipc_tasks_total",
+    "Shard tasks dispatched through the executor.",
+)
+_FRAMES_FALLBACK = obs_metrics.counter(
+    "repro_ipc_frames_fallback_total",
+    "Fan-outs that fell back from shared memory to pickled frames "
+    "(shm segment allocation or write failed).",
+)
 
 #: Accepted ``ipc`` arguments.
 IPC_MODES = ("auto", "shm", "frames")
@@ -152,6 +166,30 @@ def _run_item_task(packed: tuple[Callable[..., Any], tuple]) -> Any:
     return fn(*args)
 
 
+def _run_metered_task(
+    packed: tuple[Callable[..., Any], Any],
+) -> tuple[Any, dict]:
+    """Metric-capturing wrapper around any worker trampoline.
+
+    Only used while the parent has obs metrics enabled: installs a
+    fresh private registry for the duration of the task so whatever
+    the task's code path increments (mining candidates, recount
+    passes, ...) lands in a per-task delta, then restores the
+    worker's previous registry and ships ``(result, delta)`` back for
+    :meth:`ShardExecutor._pool_map` to fold into the parent registry
+    — the same associative merge the window accumulators use, so any
+    worker count and completion order reproduce the serial counts.
+    """
+    fn, item = packed
+    local = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.install(local)
+    try:
+        result = fn(item)
+    finally:
+        obs_metrics.install(previous)
+    return result, local.snapshot()
+
+
 def _run_broadcast_frames_task(
     packed: tuple[Callable[..., Any], list[bytes], tuple],
 ) -> Any:
@@ -246,6 +284,7 @@ class ShardExecutor:
             self._ipc = "frames"
         self._segment: shmem.RowBuffer | None = None
         self.ipc_stats = IpcStats()
+        self._fallback_warned = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -302,8 +341,46 @@ class ShardExecutor:
         batching keeps result order and shrinks dispatch latency to
         one trip per worker."""
         pool = self._ensure_pool()
+        registry = obs_metrics.active()
+        if registry is not None:
+            # Fold worker-side metric deltas into the parent registry
+            # alongside the results (counter addition is associative
+            # and commutative, so completion order cannot matter).
+            packed = [(fn, item) for item in packed]
+            fn = _run_metered_task
         chunksize = max(1, -(-len(packed) // self._pool_size))
-        return list(pool.map(fn, packed, chunksize=chunksize))
+        replies = list(pool.map(fn, packed, chunksize=chunksize))
+        if registry is None:
+            return replies
+        results = []
+        for result, delta in replies:
+            if delta:
+                registry.merge(delta)
+            results.append(result)
+        return results
+
+    def _count_tasks(self, count: int) -> None:
+        self.ipc_stats.tasks += count
+        if obs_metrics.enabled():
+            _IPC_TASKS.inc(count)
+
+    def _note_frames_fallback(self) -> None:
+        """Record a shm -> frames fallback (was silent before obs).
+
+        Warn once per executor — under sustained ``/dev/shm``
+        pressure every fan-out falls back, and one warning plus a
+        counter tells the story without flooding the log.
+        """
+        _FRAMES_FALLBACK.inc()
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            logger.warning(
+                "shared-memory staging failed (likely /dev/shm "
+                "pressure); falling back to pickled frames for this "
+                "fan-out — throughput only, results are unaffected"
+            )
+        else:
+            logger.debug("shm staging failed again; frames fallback")
 
     def _segment_for(self, needed: int) -> shmem.RowBuffer:
         """The pooled segment, recycled or regrown to hold ``needed``."""
@@ -358,7 +435,7 @@ class ShardExecutor:
                 f"{len(extras)} extras for {len(tables)} shards"
             )
         stats = self.ipc_stats
-        stats.tasks += len(tables)
+        self._count_tasks(len(tables))
         if not self._use_processes:
             # Serial fallback: hand the caller's tables to the task
             # directly — no encode/decode round-trip, no copies.
@@ -374,6 +451,7 @@ class ShardExecutor:
                     return self._pool_map(_run_slice_task, packed)
                 finally:
                     segment.release()
+            self._note_frames_fallback()
         packed = []
         for table, extra in zip(tables, extras):
             frame = table_to_bytes(table)
@@ -447,7 +525,7 @@ class ShardExecutor:
                 f"{len(extras)} extras for {len(groups)} shards"
             )
         stats = self.ipc_stats
-        stats.tasks += len(groups)
+        self._count_tasks(len(groups))
         if not self._use_processes:
             return [
                 fn(_concat_group(group), *extra)
@@ -474,6 +552,7 @@ class ShardExecutor:
                     return results
                 finally:
                     segment.release()
+            self._note_frames_fallback()
         packed = []
         for group, extra in zip(groups, extras):
             frame = table_to_bytes(_concat_group(group))
@@ -561,7 +640,7 @@ class ShardExecutor:
                 f"{len(extras)} extras for {len(masks)} shards"
             )
         stats = self.ipc_stats
-        stats.tasks += len(masks)
+        self._count_tasks(len(masks))
         if not self._use_processes:
             return [
                 fn(table.select(mask), *extra)
@@ -576,6 +655,7 @@ class ShardExecutor:
                     return self._pool_map(_run_slice_task, packed)
                 finally:
                     segment.release()
+            self._note_frames_fallback()
         packed = []
         for mask, extra in zip(masks, extras):
             frame = table_to_bytes(table.select(mask))
@@ -639,11 +719,11 @@ class ShardExecutor:
         re-ships the frames per task.
         """
         if not self._use_processes:
-            self.ipc_stats.tasks += len(extras)
+            self._count_tasks(len(extras))
             return [fn(list(tables), *extra) for extra in extras]
         pool = self._ensure_pool()
         stats = self.ipc_stats
-        stats.tasks += len(extras)
+        self._count_tasks(len(extras))
         if self._ipc == "shm":
             try:
                 needed = sum(
@@ -678,6 +758,7 @@ class ShardExecutor:
                         )
                 finally:
                     segment.release()
+            self._note_frames_fallback()
         frames = [table_to_bytes(table) for table in tables]
         frame_bytes = sum(len(frame) for frame in frames)
         stats.table_bytes += frame_bytes
@@ -697,7 +778,7 @@ class ShardExecutor:
         worker open the partition mmap directly, so zero rows cross
         the pool inbound.
         """
-        self.ipc_stats.tasks += len(items)
+        self._count_tasks(len(items))
         if not self._use_processes:
             return [fn(*item) for item in items]
         pool = self._ensure_pool()

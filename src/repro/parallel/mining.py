@@ -45,6 +45,7 @@ from repro.errors import MiningError
 from repro.flows.record import FLOW_FEATURES, FlowFeature, FlowRecord
 from repro.flows.table import FlowTable
 from repro.mining.extended import ExtendedApriori, ExtendedAprioriConfig
+from repro.obs import metrics as obs_metrics
 from repro.mining.items import Item, Itemset, ItemsetSupport
 from repro.mining.transactions import TransactionSet
 from repro.parallel.executor import ShardExecutor
@@ -346,6 +347,18 @@ def count_signatures(
     return counts
 
 
+_SHARD_CANDIDATES = obs_metrics.counter(
+    "repro_mining_shard_candidates_total",
+    "Candidate itemsets produced by per-shard local mining passes. "
+    "Recorded inside worker tasks and folded back as deltas.",
+)
+_RECOUNT_PASSES = obs_metrics.counter(
+    "repro_mining_recount_passes_total",
+    "Per-shard global recount passes of the SON two-pass protocol. "
+    "Recorded inside worker tasks and folded back as deltas.",
+)
+
+
 def _local_mine_task(
     table: FlowTable,
     min_flows: int | None,
@@ -354,18 +367,22 @@ def _local_mine_task(
     max_size: int,
 ) -> list[Signature]:
     """Worker task of the local pass: one shard's candidate itemsets."""
-    return [
+    candidates = [
         signature
         for signature, _, _, _ in _mine_table_signatures(
             table, min_flows, min_packets, features, max_size
         )
     ]
+    if candidates:
+        _SHARD_CANDIDATES.inc(len(candidates))
+    return candidates
 
 
 def _count_task(
     table: FlowTable, signatures: Sequence[Signature]
 ) -> np.ndarray:
     """Worker task of the global pass: exact counts over one shard."""
+    _RECOUNT_PASSES.inc()
     return count_signatures(table, signatures)
 
 

@@ -23,12 +23,15 @@ byte-identical to driving it directly — prefer ``repro.api.session()``
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.detect.base import Alarm
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
+from repro.obs import metrics as obs_metrics
 from repro.stream.incremental import StreamingDetector
 from repro.stream.window import ClosedWindow, WindowRing
 from repro.system.alarmdb import AlarmDatabase, AlarmStatus
@@ -40,6 +43,49 @@ if TYPE_CHECKING:
     from repro.parallel.executor import ShardExecutor
 
 __all__ = ["WindowResult", "StreamStats", "StreamEngine"]
+
+logger = logging.getLogger(__name__)
+
+# Stream-plane instruments (no-op until obs metrics are enabled;
+# recorded per chunk / per window, never per flow row).
+_FLOWS = obs_metrics.counter(
+    "repro_flows_ingested_total",
+    "Flows admitted into the streaming window ring.",
+)
+_CHUNKS = obs_metrics.counter(
+    "repro_stream_chunks_total",
+    "Chunks processed by the stream engine.",
+)
+_LATE_DROPPED = obs_metrics.counter(
+    "repro_stream_late_dropped_total",
+    "Flows dropped for arriving behind the lateness horizon.",
+)
+_WINDOWS_CLOSED = obs_metrics.counter(
+    "repro_stream_windows_closed_total",
+    "Windows sealed by the watermark.",
+)
+_ALARMS = obs_metrics.counter(
+    "repro_stream_alarms_total",
+    "Alarms inserted as new rows in the alarm database.",
+)
+_ALARMS_MERGED = obs_metrics.counter(
+    "repro_stream_alarms_merged_total",
+    "Alarm re-fires deduplicated into already-stored alarms.",
+)
+_TRIAGED = obs_metrics.counter(
+    "repro_stream_triaged_total",
+    "Open alarms triaged against the live ring.",
+)
+_WATERMARK_LAG = obs_metrics.gauge(
+    "repro_stream_watermark_lag_seconds",
+    "Event-time distance between the stream head and the close "
+    "frontier of the next window due to seal.",
+)
+_SEAL_SECONDS = obs_metrics.histogram(
+    "repro_stream_window_seal_seconds",
+    "Window close latency: detector close, alarm insert and live "
+    "triage for one sealed window.",
+)
 
 
 @dataclass
@@ -126,6 +172,12 @@ class StreamEngine:
         self.stats.chunks += 1
         self.stats.flows += ingest.admitted
         self.stats.late_dropped += ingest.late_dropped
+        if obs_metrics.enabled():
+            _CHUNKS.inc()
+            _FLOWS.inc(ingest.admitted)
+            if ingest.late_dropped:
+                _LATE_DROPPED.inc(ingest.late_dropped)
+            _WATERMARK_LAG.set(self.ring.watermark_lag_seconds)
         for index, rows in ingest.routed:
             self._observe(index, rows)
         return [self._seal(window) for window in self.ring.close_due()]
@@ -164,6 +216,8 @@ class StreamEngine:
     # -- window sealing ----------------------------------------------------
 
     def _seal(self, window: ClosedWindow) -> WindowResult:
+        metered = obs_metrics.enabled()
+        started = time.perf_counter() if metered else 0.0
         result = WindowResult(window=window)
         for detector in self.detectors:
             for alarm in detector.close(
@@ -185,6 +239,25 @@ class StreamEngine:
                 skip_errors=True
             )
             self.stats.triaged += len(result.triage)
+        if metered:
+            _WINDOWS_CLOSED.inc()
+            if result.alarms:
+                _ALARMS.inc(len(result.alarms))
+            if result.merged:
+                _ALARMS_MERGED.inc(len(result.merged))
+            if result.triage:
+                _TRIAGED.inc(len(result.triage))
+            _SEAL_SECONDS.observe(time.perf_counter() - started)
+        logger.debug(
+            "sealed window %d [%s, %s): %d alarms, %d merged, "
+            "%d triaged",
+            window.index,
+            window.start,
+            window.end,
+            len(result.alarms),
+            len(result.merged),
+            len(result.triage),
+        )
         if self.on_window is not None:
             self.on_window(result)
         return result

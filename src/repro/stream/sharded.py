@@ -40,6 +40,7 @@ from typing import Iterable
 from repro.errors import StoreError
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
+from repro.obs import metrics as obs_metrics
 from repro.parallel.executor import ShardExecutor
 from repro.parallel.partition import PartitionSpec
 from repro.stream.incremental import (
@@ -53,6 +54,15 @@ from repro.system.alarmdb import AlarmDatabase
 from repro.system.config import SystemConfig
 
 __all__ = ["ShardedStreamEngine"]
+
+_FLUSHES = obs_metrics.counter(
+    "repro_stream_flushes_total",
+    "Buffered-window fan-outs shipped to the shard pool.",
+)
+_FLUSHED_ROWS = obs_metrics.counter(
+    "repro_stream_flushed_rows_total",
+    "Rows fanned out to shard workers for window accumulation.",
+)
 
 
 def _accumulate_task(
@@ -234,6 +244,9 @@ class ShardedStreamEngine(StreamEngine):
                     current, filled = [], 0
         if current:
             groups.append(current)
+        if obs_metrics.enabled():
+            _FLUSHES.inc()
+            _FLUSHED_ROWS.inc(total)
         payload_lists = self.executor.map_table_groups(
             _accumulate_task,
             groups,

@@ -149,6 +149,19 @@ class WindowRing:
         return self._max_event - self.lateness_seconds
 
     @property
+    def watermark_lag_seconds(self) -> float:
+        """Event-time distance from the stream head to the close
+        frontier — how far the next window due to seal trails the
+        newest row seen. 0 before the origin is fixed; grows while a
+        window fills, drops by ``window_seconds`` at each seal. The
+        live gauge behind ``repro_stream_watermark_lag_seconds``.
+        """
+        if self._origin is None or self._max_event == -math.inf:
+            return 0.0
+        frontier = self.interval(self._next_to_close)[1]
+        return max(0.0, self._max_event - frontier)
+
+    @property
     def closed_through(self) -> int:
         """Number of windows closed so far (windows ``0..n-1``)."""
         return self._next_to_close
