@@ -191,12 +191,14 @@ class Session:
         spec: SessionSpec,
         on_window: Callable | None = None,
         on_start: Callable[[dict], None] | None = None,
+        on_serve: Callable[[int], None] | None = None,
     ) -> None:
         """``on_window`` is forwarded to the stream engine (called with
         each :class:`~repro.stream.runtime.WindowResult` as windows
         seal); ``on_start`` fires once per run with a context dict
         before the main loop (the CLI's "trained ... streaming ..."
-        banner)."""
+        banner); ``on_serve`` fires with the bound port once the
+        operator console is listening (``sink.serve_port`` specs)."""
         if not isinstance(spec, SessionSpec):
             raise SpecError(
                 f"expected a SessionSpec, got {type(spec).__name__}"
@@ -204,6 +206,7 @@ class Session:
         self.spec = spec
         self.on_window = on_window
         self.on_start = on_start
+        self.on_serve = on_serve
 
     @classmethod
     def from_config(
@@ -211,10 +214,11 @@ class Session:
         config: str | Path | Mapping[str, Any],
         on_window: Callable | None = None,
         on_start: Callable[[dict], None] | None = None,
+        on_serve: Callable[[int], None] | None = None,
     ) -> "Session":
         """Build a session from a TOML file path or a parsed mapping."""
         return cls(load_spec(config), on_window=on_window,
-                   on_start=on_start)
+                   on_start=on_start, on_serve=on_serve)
 
     def to_toml(self) -> str:
         """This session's spec as a TOML document."""
@@ -229,7 +233,8 @@ class Session:
         if runner is None:  # pragma: no cover - specs validate mode
             raise SpecError(f"unknown mode {mode!r}",
                             field="execution.mode")
-        if self.spec.sink.metrics_port is not None:
+        sink = self.spec.sink
+        if sink.metrics_port is not None or sink.serve_port is not None:
             # Sticky for the process: the spec asked for telemetry, so
             # every instrumented layer this run touches records.
             obs_metrics.enable()
@@ -254,6 +259,62 @@ class Session:
 
         obs_metrics.enable()
         return MetricsServer(port=port, status=status).start()
+
+    def _serve_console(
+        self,
+        status: Callable[[], dict[str, Any]],
+        alarms: AlarmDatabase | None = None,
+        windows: Callable[[], list[dict[str, Any]]] | None = None,
+        archive: Callable[[], Any] | None = None,
+    ):
+        """Start the operator console when ``sink.serve_port`` asks.
+
+        Specs that only set ``metrics_port`` fall back to the bare
+        telemetry endpoint via :meth:`_serve_metrics` — the console is
+        a strict superset, so ``serve_port`` wins when both are set.
+        """
+        port = self.spec.sink.serve_port
+        if port is None:
+            return self._serve_metrics(status)
+        from repro.obs.console import ConsoleServer
+
+        obs_metrics.enable()
+        server = ConsoleServer(
+            port=port,
+            status=status,
+            alarms=alarms,
+            windows=windows,
+            archive=archive,
+            dashboard=self.spec.sink.dashboard,
+        ).start()
+        if self.on_serve is not None:
+            self.on_serve(server.port)
+        return server
+
+    def _archive_reader_factory(
+        self, directory: str | None
+    ) -> Callable[[], Any] | None:
+        """Lazy, cached archive reader for the console's query surface.
+
+        The reader is built on first request (the directory may not
+        exist until the stream seals its first window) and kept with
+        ``auto_refresh`` on so later polls see new partitions.
+        """
+        if not directory:
+            return None
+        cache: list[Any] = []
+
+        def reader():
+            if not cache:
+                from repro.archive import ArchiveReader
+
+                try:
+                    cache.append(ArchiveReader(directory))
+                except Exception:
+                    return None
+            return cache[0]
+
+        return reader
 
     # -- shared assembly ---------------------------------------------------
 
@@ -610,6 +671,7 @@ class Session:
             retain_windows=execution.retain_windows,
             dedup_window=execution.dedup_window,
             triage=execution.triage,
+            auto_close_windows=execution.auto_close_windows,
             config=self._system_config(),
             on_window=collect_window,
             alarmdb=db,
@@ -626,11 +688,32 @@ class Session:
         interrupted = False
         flush_error: str | None = None
         replay_stats = None
-        server = self._serve_metrics(lambda: {
-            "mode": "stream",
-            "stats": asdict(engine.stats),
-            "windows": len(windows),
-        })
+        def windows_payload() -> list[dict[str, Any]]:
+            return [
+                {
+                    "index": w.window.index,
+                    "start": w.window.start,
+                    "end": w.window.end,
+                    "flows": w.window.flows,
+                    "alarms": [a.alarm_id for a in w.alarms],
+                    "merged": list(w.merged),
+                    "auto_closed": list(
+                        getattr(w, "auto_closed", ())
+                    ),
+                }
+                for w in list(windows)
+            ]
+
+        server = self._serve_console(
+            lambda: {
+                "mode": "stream",
+                "stats": asdict(engine.stats),
+                "windows": len(windows),
+            },
+            alarms=db,
+            windows=windows_payload,
+            archive=self._archive_reader_factory(sink.archive),
+        )
         with obs_trace.span("stream.run", timings, "stream"):
             try:
                 try:
@@ -667,6 +750,10 @@ class Session:
             "triaged": engine_stats.triaged,
             "late_dropped": engine_stats.late_dropped,
         }
+        if execution.auto_close_windows is not None:
+            stats["auto_closed"] = getattr(
+                engine_stats, "auto_closed", 0
+            )
         if replay_stats is not None and not interrupted:
             stats["wall"] = round(replay_stats.wall_seconds, 2)
             stats["rate"] = round(replay_stats.flows_per_second)
@@ -674,6 +761,8 @@ class Session:
         payload: dict[str, Any] = {}
         if server is not None:
             payload["metrics_port"] = server.port
+            if sink.serve_port is not None:
+                payload["serve_port"] = server.port
         if flush_error is not None:
             payload["flush_error"] = flush_error
         if sink.archive:
@@ -712,10 +801,14 @@ class Session:
         reader = source.reader()
         db = AlarmDatabase(self.spec.sink.alarmdb)
         timings: dict[str, float] = {}
-        server = self._serve_metrics(lambda: {
-            "mode": "triage",
-            "archive": source.describe(),
-        })
+        server = self._serve_console(
+            lambda: {
+                "mode": "triage",
+                "archive": source.describe(),
+            },
+            alarms=db,
+            archive=lambda: reader,
+        )
         try:
             system = ExtractionSystem.from_archive(
                 reader,
@@ -753,6 +846,8 @@ class Session:
         }
         if server is not None:
             payload["metrics_port"] = server.port
+            if self.spec.sink.serve_port is not None:
+                payload["serve_port"] = server.port
         return RunResult(
             mode="triage",
             triage=results,
@@ -1087,9 +1182,13 @@ class SessionBuilder:
         speedup: float | None = None,
         chunk_rows: int = 8192,
         triage: bool = False,
+        auto_close: int | None = None,
         ipc: str = "auto",
     ) -> "SessionBuilder":
-        """Windowed-stream execution (sharded when ``workers > 1``)."""
+        """Windowed-stream execution (sharded when ``workers > 1``).
+
+        ``auto_close`` resolves open/acked alarms as ``decayed`` once
+        no re-fire has extended them for that many sealed windows."""
         return self._mode(
             "stream",
             window_seconds=window_seconds,
@@ -1097,6 +1196,7 @@ class SessionBuilder:
             lateness_seconds=lateness_seconds,
             retain_windows=retain_windows,
             dedup_window=dedup_window,
+            auto_close_windows=auto_close,
             speedup=speedup,
             chunk_rows=chunk_rows,
             triage=triage,
@@ -1165,11 +1265,25 @@ class SessionBuilder:
         self._sink = replace(self._sink, report_dir=directory)
         return self
 
-    def serve(self, port: int = 0) -> "SessionBuilder":
-        """Serve live ``/metrics`` + ``/status`` on a loopback port
-        during stream/triage runs (``0`` picks an ephemeral port,
-        reported in ``RunResult.payload["metrics_port"]``)."""
-        self._sink = replace(self._sink, metrics_port=port)
+    def serve(
+        self,
+        port: int = 0,
+        *,
+        console: bool = False,
+        dashboard: bool = True,
+    ) -> "SessionBuilder":
+        """Serve live telemetry on a loopback port during stream/triage
+        runs (``0`` picks an ephemeral port, reported in
+        ``RunResult.payload["metrics_port"]``). ``console=True``
+        upgrades the endpoint to the full operator console —
+        ``/api/alarms`` (+ lifecycle actions), ``/api/windows``,
+        ``/api/archive/query`` and, unless ``dashboard=False``, the
+        live dashboard page at ``/``."""
+        if console:
+            self._sink = replace(self._sink, serve_port=port,
+                                 dashboard=dashboard)
+        else:
+            self._sink = replace(self._sink, metrics_port=port)
         return self
 
     # -- callbacks / finalization -------------------------------------------

@@ -260,6 +260,15 @@ class ExecutionSpec:
         "flag": "--anonymize",
         "help": "anonymize IPs in rendered reports",
     })
+    #: Stream lifecycle decay: auto-resolve open/acked alarms with
+    #: verdict ``decayed`` once no re-fire has touched them for this
+    #: many sealed windows. ``None`` (default) never auto-closes.
+    auto_close_windows: int | None = field(default=None, metadata={
+        "flag": "--auto-close",
+        "metavar": "WINDOWS",
+        "help": "auto-resolve alarms not re-fired within this many "
+                "windows (verdict 'decayed'; default: off)",
+    })
 
     def __post_init__(self) -> None:
         _require(self.mode in EXECUTION_MODES, "execution.mode",
@@ -282,6 +291,8 @@ class ExecutionSpec:
         _require(self.speedup is None or self.speedup > 0,
                  "execution.speedup",
                  f"must be positive: {self.speedup!r}")
+        if self.auto_close_windows is not None:
+            _check_int(self, "execution", "auto_close_windows", 1)
         from repro.parallel.executor import IPC_MODES
 
         _require(self.ipc in IPC_MODES, "execution.ipc",
@@ -332,17 +343,33 @@ class SinkSpec:
         "help": "serve live /metrics (Prometheus) and /status (JSON) "
                 "on this loopback port during the run (0 = ephemeral)",
     })
+    #: TCP port for the full operator console: everything
+    #: ``metrics_port`` serves plus the ``/api/*`` JSON surface
+    #: (alarms + lifecycle actions, windows, archive queries) and the
+    #: live dashboard page. Supersedes ``metrics_port`` when both are
+    #: set. ``0`` binds an ephemeral port; ``None`` (default) off.
+    serve_port: int | None = field(default=None, metadata={
+        "flag": "--serve-port",
+        "metavar": "PORT",
+        "help": "serve the operator console (/metrics, /status, "
+                "/api/*, dashboard) on this loopback port "
+                "(0 = ephemeral)",
+    })
+    #: Serve the embedded dashboard page at ``/`` on the console port.
+    dashboard: bool = True
 
     def __post_init__(self) -> None:
         _check_mapping(self, "sink", "archive_options")
-        if self.metrics_port is not None:
-            _require(
-                isinstance(self.metrics_port, int)
-                and not isinstance(self.metrics_port, bool)
-                and 0 <= self.metrics_port <= 65535,
-                "sink.metrics_port",
-                f"must be a TCP port (0-65535): {self.metrics_port!r}",
-            )
+        for name in ("metrics_port", "serve_port"):
+            value = getattr(self, name)
+            if value is not None:
+                _require(
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and 0 <= value <= 65535,
+                    f"sink.{name}",
+                    f"must be a TCP port (0-65535): {value!r}",
+                )
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,10 @@ The subcommands mirror the deployment workflow::
     python -m repro.cli archive ingest trace.rpv5 --dir spool/
     python -m repro.cli archive triage --dir spool/ --alarmdb alarms.db
     python -m repro.cli run     config.toml --workers 4
+    python -m repro.cli serve   config.toml --port 9108 --linger 300
+    python -m repro.cli alarms  ls --alarmdb alarms.db --status open
+    python -m repro.cli alarms  ack a-17 --alarmdb alarms.db --note ok
+    python -m repro.cli alarms  audit a-17 --alarmdb alarms.db
 
 ``run`` is the declarative face: a TOML file with ``[source]``,
 ``[detector]``, ``[mining]``, ``[execution]`` and ``[sink]`` sections
@@ -35,7 +39,9 @@ library error, ``130`` interrupted.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import os
 import sys
 import tomllib
 from dataclasses import MISSING, fields
@@ -163,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize = _spec_parent(ExecutionSpec, ["anonymize"])
     train = _spec_parent(DetectorSpec, ["train_bins"])
     sinks = _spec_parent(SinkSpec, ["archive", "alarmdb"])
-    serve = _spec_parent(SinkSpec, ["metrics_port"])
+    serve = _spec_parent(SinkSpec, ["metrics_port", "serve_port"])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -328,6 +334,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="override any spec field (repeatable; values parse as "
              "TOML, else strings)",
     )
+    o_dump.add_argument(
+        "--json", action="store_true",
+        help="print the /status JSON payload instead of the "
+             "Prometheus exposition",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="long-running operational mode: run a stream/triage "
+             "config with the operator console (/metrics, /status, "
+             "/api/*, dashboard) on one loopback port",
+    )
+    serve_cmd.add_argument("config", help="session config (TOML)")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="console TCP port (default: 0, ephemeral; overrides "
+             "sink.serve_port)")
+    serve_cmd.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="after the run ends, keep serving the file-backed alarm "
+             "DB and archive for this many seconds (0 = exit with "
+             "the run; requires sink.alarmdb)")
+    serve_cmd.add_argument(
+        "--workers", type=_workers_arg, default=None,
+        help="override [execution] workers")
+    serve_cmd.add_argument(
+        "--set", action="append", default=[], dest="overrides",
+        metavar="SECTION.KEY=VALUE",
+        help="override any spec field (repeatable; values parse as "
+             "TOML, else strings)",
+    )
+
+    alarms = sub.add_parser(
+        "alarms",
+        help="inspect and drive the alarm lifecycle in a sqlite "
+             "alarm DB (the offline face of the console's /api/alarms)",
+    )
+    lsub = alarms.add_subparsers(dest="alarms_command", required=True)
+
+    def _alarm_db_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--alarmdb", required=True,
+                       help="sqlite alarm DB file")
+
+    l_ls = lsub.add_parser("ls", help="list alarms")
+    _alarm_db_arg(l_ls)
+    l_ls.add_argument("--status", default=None,
+                      choices=list(AlarmStatus.ALL),
+                      help="only alarms in this lifecycle state")
+    l_ls.add_argument("--detector", default=None,
+                      help="only alarms from this detector")
+    l_ls.add_argument("--start", type=float, default=None)
+    l_ls.add_argument("--end", type=float, default=None)
+    l_ls.add_argument("--limit", type=int, default=None,
+                      help="page size (default: all)")
+    l_ls.add_argument("--offset", type=int, default=0)
+
+    for action, help_text in (
+        ("ack", "acknowledge an alarm (open -> acked)"),
+        ("assign", "assign an alarm to an operator"),
+        ("escalate", "escalate an alarm"),
+        ("resolve", "resolve an alarm with a verdict"),
+        ("dismiss", "dismiss an alarm as not actionable"),
+    ):
+        l_act = lsub.add_parser(action, help=help_text)
+        _alarm_db_arg(l_act)
+        l_act.add_argument("alarm_id", help="alarm id to act on")
+        l_act.add_argument("--actor", default="cli",
+                           help="who acted (journaled; default: cli)")
+        l_act.add_argument("--note", default="",
+                           help="free-text note for the audit trail")
+        if action == "assign":
+            l_act.add_argument("--to", required=True, dest="assignee",
+                               help="operator to assign the alarm to")
+        if action == "resolve":
+            l_act.add_argument("--verdict", default="resolved",
+                               help="closing verdict text")
+
+    l_audit = lsub.add_parser(
+        "audit", help="print an alarm's append-only audit trail"
+    )
+    _alarm_db_arg(l_audit)
+    l_audit.add_argument("alarm_id", help="alarm id to audit")
     return parser
 
 
@@ -658,7 +746,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         builder.archive(args.archive)
     if args.alarmdb:
         builder.alarmdb(args.alarmdb)
-    if args.metrics_port is not None:
+    if args.serve_port is not None:
+        builder.serve(args.serve_port, console=True)
+    elif args.metrics_port is not None:
         builder.serve(args.metrics_port)
     return _finish(builder.spec(), builder.run())
 
@@ -735,7 +825,9 @@ def _cmd_archive(args: argparse.Namespace) -> int:
                     ipc=args.ipc)
             .alarmdb(args.alarmdb)
         )
-        if args.metrics_port is not None:
+        if args.serve_port is not None:
+            builder.serve(args.serve_port, console=True)
+        elif args.metrics_port is not None:
             builder.serve(args.metrics_port)
         return _finish(builder.spec(), builder.run())
 
@@ -750,7 +842,7 @@ def _cmd_archive(args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import metrics as obs_metrics
-    from repro.obs.serve import render_prometheus
+    from repro.obs.serve import render_prometheus, status_payload
 
     spec = api.load_spec(args.config)
     overrides = _parse_overrides(args.overrides)
@@ -759,10 +851,177 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     obs_metrics.enable()
     result = api.Session(spec).run()
     print(result.summary(), file=sys.stderr)
-    # The exposition is the stdout artifact — pipeable straight into
-    # promtool / grep without the run's human-facing rendering.
-    sys.stdout.write(render_prometheus())
+    # The stdout artifact is machine-readable — pipeable straight into
+    # promtool / jq / grep without the run's human-facing rendering.
+    if args.json:
+        json.dump(
+            status_payload(lambda: {
+                "mode": result.mode,
+                "stats": result.stats,
+            }),
+            sys.stdout,
+            default=str,
+        )
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(render_prometheus())
     return 130 if result.interrupted else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = api.load_spec(args.config)
+    overrides = _parse_overrides(args.overrides)
+    if args.workers is not None:
+        overrides.setdefault("execution", {})["workers"] = args.workers
+    overrides.setdefault("sink", {})["serve_port"] = args.port
+    spec = spec.with_overrides(**overrides)
+    if spec.execution.mode not in ("stream", "triage"):
+        raise SpecError(
+            f"repro serve drives a live stream/triage session, not "
+            f"mode {spec.execution.mode!r}",
+            field="execution.mode",
+        )
+    if args.linger and not spec.sink.alarmdb:
+        raise SpecError(
+            "--linger re-serves the alarm DB after the run, so it "
+            "needs a file-backed sink.alarmdb",
+            field="sink.alarmdb",
+        )
+    bound: list[int] = []
+
+    def on_serve(port: int) -> None:
+        bound.append(port)
+        # Flushed eagerly: a supervisor (or the CI smoke job) tails
+        # this line for the bound port while the run is still going.
+        print(f"console on http://127.0.0.1:{port}/ "
+              f"(/metrics /status /api/alarms /api/windows "
+              f"/api/archive/query)", flush=True)
+
+    on_start = on_window = None
+    if spec.execution.mode == "stream":
+        on_start, on_window = _stream_callbacks()
+    result = api.Session(
+        spec, on_window=on_window, on_start=on_start,
+        on_serve=on_serve,
+    ).run()
+    code = _finish(spec, result, summary=True)
+    if args.linger and not result.interrupted:
+        code = _linger(spec, bound[0] if bound else args.port,
+                       args.linger)
+    return code
+
+
+def _linger(spec: api.SessionSpec, port: int, seconds: float) -> int:
+    """Keep the console up on the run's alarm DB after the run ends.
+
+    A bounded replay can drain in milliseconds — too fast for an
+    operator (or a CI probe) to ever see the console. Linger re-binds
+    the same port over the file-backed alarm DB and archive so the
+    lifecycle surface stays actionable until SIGINT or the deadline.
+    """
+    import time
+
+    from repro.obs.console import ConsoleServer
+    from repro.system.alarmdb import AlarmDatabase
+
+    db = AlarmDatabase(spec.sink.alarmdb)
+    archive_dir = spec.sink.archive
+    reader_cache: list[Any] = []
+
+    def archive_reader():
+        if not reader_cache:
+            try:
+                from repro.archive import ArchiveReader
+
+                reader_cache.append(ArchiveReader(archive_dir))
+            except Exception:
+                return None
+        return reader_cache[0]
+
+    server = ConsoleServer(
+        port=port,
+        status=lambda: {"mode": "linger"},
+        alarms=db,
+        archive=archive_reader if archive_dir else None,
+        dashboard=spec.sink.dashboard,
+    ).start()
+    deadline = time.monotonic() + seconds
+    print(f"lingering on http://127.0.0.1:{server.port}/ for "
+          f"{seconds:g}s (ctrl-C to stop)", flush=True)
+    try:
+        while time.monotonic() < deadline:
+            time.sleep(min(0.2, max(0.0, deadline - time.monotonic())))
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        server.stop()
+        db.close()
+    return 0
+
+
+def _cmd_alarms(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import AlarmDatabaseError
+    from repro.system.alarmdb import AlarmDatabase
+
+    if not Path(args.alarmdb).exists():
+        raise AlarmDatabaseError(
+            f"no alarm DB at {args.alarmdb!r}"
+        )
+    db = AlarmDatabase(args.alarmdb)
+    try:
+        if args.alarms_command == "ls":
+            rows, total = db.rows(
+                status=args.status, start=args.start, end=args.end,
+                detector=args.detector, limit=args.limit,
+                offset=args.offset,
+            )
+            table = [("alarm", "detector", "window", "score",
+                      "status", "assignee", "verdict")]
+            for row in rows:
+                table.append((
+                    row["alarm_id"], row["detector"],
+                    f"[{row['start']:.0f}, {row['end']:.0f})",
+                    f"{row['score']:.1f}", row["status"],
+                    row["assignee"], row["verdict"],
+                ))
+            print(render_table(table))
+            counts = db.counts_by_status()
+            summary = ", ".join(
+                f"{status}={count}"
+                for status, count in counts.items() if count
+            )
+            print(f"{len(rows)} of {total} alarms ({summary or 'none'})")
+        elif args.alarms_command == "audit":
+            trail = db.audit_trail(args.alarm_id)
+            if not trail:
+                raise AlarmDatabaseError(
+                    f"no audit trail for alarm {args.alarm_id!r}"
+                )
+            table = [("seq", "ts", "actor", "action",
+                      "transition", "note")]
+            for entry in trail:
+                table.append((
+                    str(entry.seq), f"{entry.ts:.0f}", entry.actor,
+                    entry.action,
+                    f"{entry.from_status or '-'} -> {entry.to_status}",
+                    entry.note,
+                ))
+            print(render_table(table))
+        else:
+            new_status = db.transition(
+                args.alarm_id,
+                args.alarms_command,
+                actor=args.actor,
+                note=args.note,
+                assignee=getattr(args, "assignee", None),
+                verdict=getattr(args, "verdict", None),
+            )
+            print(f"{args.alarm_id} -> {new_status}")
+    finally:
+        db.close()
+    return 0
 
 
 _COMMANDS = {
@@ -774,6 +1033,8 @@ _COMMANDS = {
     "archive": _cmd_archive,
     "run": _cmd_run,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "alarms": _cmd_alarms,
 }
 
 
@@ -787,6 +1048,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    except BrokenPipeError:
+        # Downstream closed early (`repro alarms ls | head`): not an
+        # error. Detach stdout so interpreter teardown can't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

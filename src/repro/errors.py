@@ -22,6 +22,7 @@ __all__ = [
     "MiningError",
     "ExtractionError",
     "AlarmDatabaseError",
+    "AlarmTransitionError",
     "ConfigurationError",
     "SpecError",
     "RegistryError",
@@ -94,6 +95,10 @@ class ExtractionError(ReproError):
 
 class AlarmDatabaseError(ReproError):
     """Alarm-database schema or query failure."""
+
+
+class AlarmTransitionError(AlarmDatabaseError):
+    """An alarm lifecycle move that LEGAL_TRANSITIONS forbids."""
 
 
 class ConfigurationError(ReproError):

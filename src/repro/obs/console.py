@@ -1,0 +1,353 @@
+"""The operator console: JSON API + dashboard over the metrics port.
+
+:class:`ConsoleServer` extends :class:`repro.obs.serve.MetricsServer`
+— ``/metrics`` and ``/status`` keep their exact PR 7 bodies — with
+the read/act operational plane:
+
+========================================  ==================================
+``GET /`` , ``GET /dashboard``            the embedded live dashboard page
+``GET /api/alarms``                       alarm list; filter by ``status`` /
+                                          ``detector`` / ``start`` / ``end``,
+                                          paginate with ``limit`` / ``offset``
+``GET /api/alarms/<id>``                  one alarm + its full audit trail
+``POST /api/alarms/<id>/<action>``        lifecycle move: ``ack`` /
+                                          ``assign`` / ``escalate`` /
+                                          ``resolve`` / ``dismiss``
+``GET /api/windows``                      recent sealed windows
+``GET /api/archive/query``                planner-backed count / top-N
+========================================  ==================================
+
+POST bodies are optional JSON (``{"actor", "note", "assignee",
+"verdict"}``); the same keys are accepted as query parameters so a
+bare ``curl -X POST`` works. Errors are JSON too: 404 for unknown
+alarms/paths, 409 for moves the lifecycle matrix forbids, 400 for bad
+parameters, 405 for the wrong method on a known route.
+
+Import discipline: the module is stdlib-only at import time; the
+alarm database, window payloads and archive reader arrive as
+constructor arguments (the reader via a zero-arg callable so archives
+can attach lazily after the stream run ends). Handler threads
+serialise archive access through a lock — ``ArchiveReader`` keeps
+per-query state (``last_plan``) and is not itself thread-safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from typing import Any, Callable
+
+from repro.errors import (
+    AlarmDatabaseError,
+    AlarmTransitionError,
+    FilterError,
+    ReproError,
+)
+from repro.obs.dashboard import DASHBOARD_HTML
+from repro.obs.serve import CONTENT_TYPE_JSON, MetricsServer, Response
+
+__all__ = ["ConsoleServer"]
+
+CONTENT_TYPE_HTML = "text/html; charset=utf-8"
+
+#: Maximum alarms per page when the client does not say.
+DEFAULT_PAGE = 100
+
+_NO_STORE = {"Cache-Control": "no-store"}
+
+
+def _json_response(
+    status: int, payload: dict[str, Any]
+) -> Response:
+    body = json.dumps(payload, default=str).encode("utf-8")
+    return (status, CONTENT_TYPE_JSON, body, dict(_NO_STORE))
+
+
+def _error(status: int, message: str) -> Response:
+    return _json_response(status, {"error": message})
+
+
+def _float_param(
+    query: dict[str, str], name: str
+) -> float | None:
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}")
+
+
+def _int_param(
+    query: dict[str, str], name: str, default: int
+) -> int:
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}")
+
+
+class ConsoleServer(MetricsServer):
+    """The full operator HTTP API on one loopback port.
+
+    Parameters
+    ----------
+    alarms:
+        The live :class:`~repro.system.alarmdb.AlarmDatabase`, or
+        ``None`` to 404 the alarm surface.
+    windows:
+        Zero-arg callable returning recent sealed windows as
+        JSON-ready dicts (newest last), or ``None``.
+    archive:
+        Zero-arg callable returning an
+        :class:`~repro.archive.reader.ArchiveReader` (or ``None``
+        when no archive is attached yet).
+    dashboard:
+        Serve the embedded page at ``/`` and ``/dashboard``.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        status: Callable[[], dict[str, Any]] | None = None,
+        alarms: Any = None,
+        windows: Callable[[], list[dict[str, Any]]] | None = None,
+        archive: Callable[[], Any] | None = None,
+        dashboard: bool = True,
+    ) -> None:
+        super().__init__(port=port, host=host, status=status)
+        self._alarms = alarms
+        self._windows = windows
+        self._archive = archive
+        self._dashboard = dashboard
+        self._archive_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str, query: dict[str, str]) -> Response | None:
+        if self._dashboard and path in ("/", "/dashboard"):
+            body = DASHBOARD_HTML.encode("utf-8")
+            return (200, CONTENT_TYPE_HTML, body, dict(_NO_STORE))
+        if path == "/api/alarms":
+            return self._api_alarm_list(query)
+        if path.startswith("/api/alarms/"):
+            rest = path[len("/api/alarms/"):]
+            if not rest or "/" in rest:
+                return None
+            return self._api_alarm_detail(rest)
+        if path == "/api/windows":
+            return self._api_windows(query)
+        if path == "/api/archive/query":
+            return self._api_archive_query(query)
+        return super()._get(path, query)
+
+    def _post(
+        self, path: str, query: dict[str, str], body: bytes
+    ) -> Response | None:
+        if path.startswith("/api/alarms/"):
+            rest = path[len("/api/alarms/"):]
+            alarm_id, _, action = rest.partition("/")
+            if alarm_id and action and "/" not in action:
+                return self._api_alarm_action(
+                    alarm_id, action, query, body
+                )
+        return None
+
+    def _allows_post(self, path: str) -> bool:
+        rest = path[len("/api/alarms/"):] if path.startswith(
+            "/api/alarms/"
+        ) else ""
+        return bool(rest) and rest.count("/") == 1
+
+    # ------------------------------------------------------------------
+    # Alarm surface
+    # ------------------------------------------------------------------
+
+    def _api_alarm_list(self, query: dict[str, str]) -> Response:
+        if self._alarms is None:
+            return _error(404, "no alarm database attached")
+        try:
+            start = _float_param(query, "start")
+            end = _float_param(query, "end")
+            limit = _int_param(query, "limit", DEFAULT_PAGE)
+            offset = _int_param(query, "offset", 0)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        status = query.get("status") or None
+        detector = query.get("detector") or None
+        try:
+            rows, total = self._alarms.rows(
+                status=status,
+                start=start,
+                end=end,
+                detector=detector,
+                limit=limit,
+                offset=offset,
+            )
+            counts = self._alarms.counts_by_status()
+        except AlarmDatabaseError as exc:
+            return _error(400, str(exc))
+        return _json_response(200, {
+            "alarms": rows,
+            "total": total,
+            "counts": counts,
+            "limit": limit,
+            "offset": offset,
+        })
+
+    def _api_alarm_detail(self, alarm_id: str) -> Response:
+        if self._alarms is None:
+            return _error(404, "no alarm database attached")
+        rows, _ = self._alarms.rows(alarm_id=alarm_id, limit=1)
+        if not rows:
+            return _error(404, f"unknown alarm {alarm_id!r}")
+        payload = rows[0]
+        payload["audit"] = [
+            entry.as_dict()
+            for entry in self._alarms.audit_trail(alarm_id)
+        ]
+        return _json_response(200, payload)
+
+    def _api_alarm_action(
+        self,
+        alarm_id: str,
+        action: str,
+        query: dict[str, str],
+        body: bytes,
+    ) -> Response:
+        if self._alarms is None:
+            return _error(404, "no alarm database attached")
+        fields: dict[str, Any] = {}
+        if body.strip():
+            try:
+                fields = json.loads(body)
+            except ValueError:
+                return _error(400, "request body is not valid JSON")
+            if not isinstance(fields, dict):
+                return _error(400, "request body must be a JSON object")
+        actor = str(fields.get("actor") or query.get("actor") or "console")
+        note = str(fields.get("note") or query.get("note") or "")
+        assignee = fields.get("assignee") or query.get("assignee")
+        verdict = fields.get("verdict") or query.get("verdict")
+        try:
+            new_status = self._alarms.transition(
+                alarm_id,
+                action,
+                actor=actor,
+                note=note,
+                assignee=assignee,
+                verdict=verdict,
+            )
+        except AlarmTransitionError as exc:
+            return _error(409, str(exc))
+        except AlarmDatabaseError as exc:
+            code = 404 if "unknown alarm" in str(exc) else 400
+            return _error(code, str(exc))
+        return _json_response(200, {
+            "alarm_id": alarm_id,
+            "action": action,
+            "status": new_status,
+            "actor": actor,
+        })
+
+    # ------------------------------------------------------------------
+    # Windows + archive
+    # ------------------------------------------------------------------
+
+    def _api_windows(self, query: dict[str, str]) -> Response:
+        try:
+            limit = _int_param(query, "limit", 50)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        windows = list(self._windows()) if self._windows else []
+        if limit >= 0:
+            windows = windows[-limit:]
+        return _json_response(200, {
+            "windows": windows,
+            "count": len(windows),
+        })
+
+    def _api_archive_query(self, query: dict[str, str]) -> Response:
+        if self._archive is None:
+            return _error(404, "no archive attached")
+        reader = self._archive()
+        if reader is None:
+            return _error(404, "no archive attached")
+        try:
+            start = _float_param(query, "start")
+            end = _float_param(query, "end")
+            n = _int_param(query, "n", 10)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        flow_filter = query.get("filter") or None
+        feature_name = query.get("top")
+        with self._archive_lock:
+            try:
+                span = reader.stats().span or (0.0, 0.0)
+                if start is None:
+                    start = span[0]
+                if end is None:
+                    # span is inclusive of the last flow's start;
+                    # queries treat end as exclusive.
+                    end = span[1] + 1.0
+                if feature_name:
+                    from repro.flows.record import (
+                        FlowFeature,
+                        format_feature_value,
+                    )
+                    try:
+                        feature = FlowFeature(feature_name)
+                    except ValueError:
+                        return _error(
+                            400,
+                            f"unknown feature {feature_name!r} "
+                            "(srcIP/dstIP/srcPort/dstPort/proto)",
+                        )
+                    pairs = reader.top_feature_values(
+                        start,
+                        end,
+                        feature,
+                        n=n,
+                        by_packets=query.get("by") == "packets",
+                        flow_filter=flow_filter,
+                    )
+                    result: dict[str, Any] = {
+                        "query": "top",
+                        "feature": feature.value,
+                        "values": [
+                            {
+                                "value": value,
+                                "rendered": format_feature_value(
+                                    feature, value
+                                ),
+                                "count": count,
+                            }
+                            for value, count in pairs
+                        ],
+                    }
+                else:
+                    stats = reader.count(start, end, flow_filter)
+                    result = {
+                        "query": "count",
+                        "flows": stats.flows,
+                        "packets": stats.packets,
+                        "bytes": stats.bytes,
+                    }
+            except FilterError as exc:
+                return _error(400, f"bad filter: {exc}")
+            except ReproError as exc:
+                return _error(400, str(exc))
+            result["start"] = start
+            result["end"] = end
+            plan = getattr(reader, "last_plan", None)
+            if plan is not None:
+                result["plan"] = dataclasses.asdict(plan)
+        return _json_response(200, result)

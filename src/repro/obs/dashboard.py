@@ -1,0 +1,240 @@
+"""The embedded operator dashboard page.
+
+One self-contained HTML document (no external assets, no JS
+dependencies) served by :class:`repro.obs.console.ConsoleServer` at
+``/`` and ``/dashboard``. It polls the console's own endpoints —
+``/metrics`` (Prometheus text, parsed with a regex) and
+``/api/alarms`` — every two seconds and renders:
+
+- stat tiles: live flows/s (derived from successive
+  ``repro_flows_ingested_total`` samples), watermark lag, windows
+  sealed, and the open-alarm count;
+- per-state alarm counts as labelled status chips (color is always
+  paired with the state name — never color alone);
+- a triage queue of actionable alarms with Ack / Dismiss buttons
+  that POST to ``/api/alarms/<id>/<action>``.
+
+Embedding the page as a module constant keeps packaging trivial:
+no package-data, no MANIFEST entries, and ``repro serve`` works from
+a zip import.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro console</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+  :root {
+    --ink: #1a1a1a; --ink-2: #555; --ink-3: #8a8a8a;
+    --surface: #fafaf8; --card: #ffffff; --line: #e4e2de;
+    --good: #0ca30c; --warning: #fab219;
+    --serious: #ec835a; --critical: #d03b3b;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; background: var(--surface); color: var(--ink);
+    font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header {
+    display: flex; align-items: baseline; gap: 12px;
+    padding: 14px 24px; border-bottom: 1px solid var(--line);
+    background: var(--card);
+  }
+  header h1 { font-size: 16px; margin: 0; font-weight: 650; }
+  header .sub { color: var(--ink-3); font-size: 12px; }
+  main { max-width: 1080px; margin: 0 auto; padding: 20px 24px; }
+  .tiles {
+    display: grid; gap: 12px;
+    grid-template-columns: repeat(auto-fit, minmax(190px, 1fr));
+  }
+  .tile {
+    background: var(--card); border: 1px solid var(--line);
+    border-radius: 8px; padding: 14px 16px;
+  }
+  .tile .label {
+    font-size: 11px; letter-spacing: .04em; text-transform: uppercase;
+    color: var(--ink-3); margin-bottom: 4px;
+  }
+  .tile .value {
+    font-size: 26px; font-weight: 650;
+    font-variant-numeric: tabular-nums;
+  }
+  .tile .unit { font-size: 13px; color: var(--ink-2); font-weight: 400; }
+  h2 { font-size: 13px; margin: 26px 0 10px; color: var(--ink-2);
+       text-transform: uppercase; letter-spacing: .05em; }
+  .chips { display: flex; flex-wrap: wrap; gap: 8px; }
+  .chip {
+    display: inline-flex; align-items: center; gap: 7px;
+    background: var(--card); border: 1px solid var(--line);
+    border-radius: 999px; padding: 4px 12px; font-size: 13px;
+  }
+  .chip .dot {
+    width: 9px; height: 9px; border-radius: 50%; background: var(--ink-3);
+  }
+  .chip .n { font-weight: 650; font-variant-numeric: tabular-nums; }
+  table {
+    width: 100%; border-collapse: collapse; background: var(--card);
+    border: 1px solid var(--line); border-radius: 8px; overflow: hidden;
+  }
+  th, td {
+    text-align: left; padding: 8px 12px;
+    border-bottom: 1px solid var(--line); font-size: 13px;
+  }
+  th { color: var(--ink-3); font-weight: 550; font-size: 11px;
+       text-transform: uppercase; letter-spacing: .04em; }
+  tr:last-child td { border-bottom: none; }
+  td.num { font-variant-numeric: tabular-nums; }
+  .state { display: inline-flex; align-items: center; gap: 6px; }
+  .state .dot { width: 8px; height: 8px; border-radius: 50%; }
+  button {
+    font: inherit; font-size: 12px; padding: 3px 10px; margin-right: 6px;
+    border: 1px solid var(--line); border-radius: 6px;
+    background: var(--card); color: var(--ink); cursor: pointer;
+  }
+  button:hover { background: var(--surface); }
+  #err { color: var(--critical); font-size: 12px; min-height: 1.2em;
+         margin-top: 14px; }
+  .empty { color: var(--ink-3); padding: 14px; text-align: center; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro console</h1>
+  <span class="sub" id="meta">connecting&hellip;</span>
+</header>
+<main>
+  <div class="tiles">
+    <div class="tile"><div class="label">Flows / s</div>
+      <div class="value" id="t-rate">&ndash;</div></div>
+    <div class="tile"><div class="label">Watermark lag</div>
+      <div class="value" id="t-lag">&ndash;<span class="unit"> s</span></div></div>
+    <div class="tile"><div class="label">Windows sealed</div>
+      <div class="value" id="t-windows">&ndash;</div></div>
+    <div class="tile"><div class="label">Open alarms</div>
+      <div class="value" id="t-open">&ndash;</div></div>
+  </div>
+  <h2>Alarms by state</h2>
+  <div class="chips" id="chips"></div>
+  <h2>Triage queue</h2>
+  <table>
+    <thead><tr>
+      <th>Alarm</th><th>Detector</th><th>Window</th><th>Score</th>
+      <th>Label</th><th>State</th><th>Actions</th>
+    </tr></thead>
+    <tbody id="queue"><tr><td class="empty" colspan="7">loading&hellip;</td></tr></tbody>
+  </table>
+  <div id="err"></div>
+</main>
+<script>
+"use strict";
+// Reserved status palette; a colored dot is always paired with the
+// state name in text, so color is never the only carrier.
+const STATE_COLOR = {
+  open: "var(--critical)", escalated: "var(--serious)",
+  acked: "var(--warning)", assigned: "var(--warning)",
+  extracted: "var(--ink-3)", validated: "var(--ink-3)",
+  resolved: "var(--good)", dismissed: "var(--good)",
+};
+const ACTIONABLE = ["open", "acked", "assigned", "escalated", "validated"];
+const POLL_MS = 2000;
+let lastFlows = null, lastFlowsAt = null;
+
+function metric(text, name) {
+  const re = new RegExp("^" + name + "(?:\\\\{[^}]*\\\\})? (.+)$", "m");
+  const m = text.match(re);
+  return m ? parseFloat(m[1]) : null;
+}
+
+function fmt(v, digits) {
+  if (v === null || v === undefined || Number.isNaN(v)) return "\\u2013";
+  return v.toLocaleString("en-US", {maximumFractionDigits: digits ?? 0});
+}
+
+async function pollMetrics() {
+  const text = await (await fetch("/metrics", {cache: "no-store"})).text();
+  const now = performance.now();
+  const flows = metric(text, "repro_flows_ingested_total");
+  let rate = null;
+  if (flows !== null && lastFlows !== null && now > lastFlowsAt) {
+    rate = Math.max(0, flows - lastFlows) / ((now - lastFlowsAt) / 1000);
+  }
+  lastFlows = flows; lastFlowsAt = now;
+  document.getElementById("t-rate").textContent = fmt(rate);
+  const lag = metric(text, "repro_stream_watermark_lag_seconds");
+  document.getElementById("t-lag").innerHTML =
+    fmt(lag, 1) + '<span class="unit"> s</span>';
+  document.getElementById("t-windows").textContent =
+    fmt(metric(text, "repro_stream_windows_closed_total"));
+}
+
+function stateCell(state) {
+  const color = STATE_COLOR[state] || "var(--ink-3)";
+  return '<span class="state"><span class="dot" style="background:'
+    + color + '"></span>' + state + "</span>";
+}
+
+async function act(id, action) {
+  try {
+    const r = await fetch("/api/alarms/" + encodeURIComponent(id)
+      + "/" + action, {method: "POST"});
+    if (!r.ok) {
+      const body = await r.json().catch(() => ({}));
+      throw new Error(body.error || (r.status + " " + r.statusText));
+    }
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent =
+      action + " " + id + " failed: " + e.message;
+  }
+  await pollAlarms();
+}
+
+async function pollAlarms() {
+  const data = await (await fetch("/api/alarms?limit=50",
+    {cache: "no-store"})).json();
+  const counts = data.counts || {};
+  document.getElementById("t-open").textContent = fmt(counts.open ?? 0);
+  const chips = Object.entries(counts).map(([state, n]) => {
+    const color = STATE_COLOR[state] || "var(--ink-3)";
+    return '<span class="chip"><span class="dot" style="background:'
+      + color + '"></span>' + state
+      + ' <span class="n">' + fmt(n) + "</span></span>";
+  });
+  document.getElementById("chips").innerHTML = chips.join("");
+  const rows = (data.alarms || [])
+    .filter(a => ACTIONABLE.includes(a.status));
+  const body = rows.length ? rows.map(a =>
+    "<tr><td>" + a.alarm_id + "</td><td>" + a.detector
+    + '</td><td class="num">[' + a.start + ", " + a.end + ")</td>"
+    + '<td class="num">' + fmt(a.score, 2) + "</td>"
+    + "<td>" + (a.label || "") + "</td>"
+    + "<td>" + stateCell(a.status) + "</td>"
+    + "<td><button onclick=\\"act('" + a.alarm_id + "', 'ack')\\">Ack</button>"
+    + "<button onclick=\\"act('" + a.alarm_id + "', 'dismiss')\\">Dismiss"
+    + "</button></td></tr>").join("")
+    : '<tr><td class="empty" colspan="7">no actionable alarms</td></tr>';
+  document.getElementById("queue").innerHTML = body;
+  document.getElementById("meta").textContent =
+    data.total + " alarms \\u00b7 refreshed "
+    + new Date().toLocaleTimeString();
+}
+
+async function tick() {
+  try {
+    await Promise.all([pollMetrics(), pollAlarms()]);
+  } catch (e) {
+    document.getElementById("meta").textContent = "poll failed: " + e.message;
+  }
+}
+tick();
+setInterval(tick, POLL_MS);
+</script>
+</body>
+</html>
+"""

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 
@@ -162,12 +163,22 @@ def status_payload(
     return payload
 
 
+#: A rendered HTTP response: (status code, content type, body bytes,
+#: extra headers). ``_get``/``_post`` return one, or ``None`` for 404.
+Response = tuple[int, str, bytes, dict[str, str]]
+
+
 class MetricsServer:
     """The /metrics + /status endpoint on a daemon thread.
 
     ``port=0`` binds an ephemeral port; read :attr:`port` after
     :meth:`start`. Binds ``host`` (default loopback) only — this is
     an operator-local observability port, not a public listener.
+
+    Subclasses (:class:`repro.obs.console.ConsoleServer`) extend the
+    route table by overriding :meth:`_get` / :meth:`_post`, which map
+    ``(path, query)`` to a :data:`Response` or ``None`` for 404. The
+    base server answers GET and HEAD; POST to any base route is 405.
     """
 
     def __init__(
@@ -183,28 +194,133 @@ class MetricsServer:
         self._thread: threading.Thread | None = None
         self.port: int | None = None
 
+    # ------------------------------------------------------------------
+    # Route table
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str, query: dict[str, str]) -> Response | None:
+        if path == "/metrics":
+            body = render_prometheus().encode("utf-8")
+            return (
+                200,
+                CONTENT_TYPE_METRICS,
+                body,
+                {"Cache-Control": "no-store"},
+            )
+        if path == "/status":
+            body = json.dumps(
+                status_payload(self._status), default=str
+            ).encode("utf-8")
+            return (
+                200,
+                CONTENT_TYPE_JSON,
+                body,
+                {"Cache-Control": "no-store"},
+            )
+        return None
+
+    def _post(
+        self, path: str, query: dict[str, str], body: bytes
+    ) -> Response | None:
+        return None
+
+    def _allows_post(self, path: str) -> bool:
+        """True when ``path`` is a POST route (405 for GET, not 404)."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Server lifecycle
+    # ------------------------------------------------------------------
+
     def start(self) -> "MetricsServer":
-        status_fn = self._status
+        owner = self
 
         class _Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 (http.server API)
-                path = self.path.split("?", 1)[0]
-                if path == "/metrics":
-                    body = render_prometheus().encode("utf-8")
-                    ctype = CONTENT_TYPE_METRICS
-                elif path == "/status":
-                    body = json.dumps(
-                        status_payload(status_fn), default=str
-                    ).encode("utf-8")
-                    ctype = CONTENT_TYPE_JSON
-                else:
+            def _parse(self) -> tuple[str, dict[str, str]]:
+                path, _, raw_query = self.path.partition("?")
+                query = {
+                    key: values[-1]
+                    for key, values in urllib.parse.parse_qs(
+                        raw_query, keep_blank_values=True
+                    ).items()
+                }
+                return urllib.parse.unquote(path), query
+
+            def _reply(
+                self, response: Response | None, head_only: bool = False
+            ) -> None:
+                if response is None:
                     self.send_error(404, "unknown path")
                     return
-                self.send_response(200)
+                status, ctype, body, headers = response
+                self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
                 self.end_headers()
-                self.wfile.write(body)
+                if not head_only:
+                    self.wfile.write(body)
+
+            def _run(self, head_only: bool = False) -> None:
+                try:
+                    path, query = self._parse()
+                    if self.command == "POST":
+                        length = int(
+                            self.headers.get("Content-Length") or 0
+                        )
+                        payload = (
+                            self.rfile.read(length) if length else b""
+                        )
+                        response = owner._post(path, query, payload)
+                        if response is None and (
+                            owner._get(path, query) is not None
+                        ):
+                            response = (
+                                405,
+                                CONTENT_TYPE_JSON,
+                                b'{"error": "method not allowed"}',
+                                {"Allow": "GET, HEAD"},
+                            )
+                    else:
+                        response = owner._get(path, query)
+                        if response is None and owner._allows_post(path):
+                            response = (
+                                405,
+                                CONTENT_TYPE_JSON,
+                                b'{"error": "method not allowed"}',
+                                {"Allow": "POST"},
+                            )
+                    self._reply(response, head_only=head_only)
+                except (BrokenPipeError, ConnectionResetError):
+                    # Scraper hung up mid-response; nothing to salvage.
+                    logger.debug("client disconnected mid-response")
+                except Exception as exc:
+                    # A route bug must degrade to a JSON 500, not a
+                    # dropped connection killing the poller.
+                    logger.exception("endpoint error on %s", self.path)
+                    try:
+                        self._reply((
+                            500,
+                            CONTENT_TYPE_JSON,
+                            json.dumps({
+                                "error":
+                                    f"{type(exc).__name__}: {exc}",
+                            }).encode("utf-8"),
+                            {},
+                        ), head_only=head_only)
+                    except (BrokenPipeError, ConnectionResetError,
+                            OSError):
+                        pass
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                self._run()
+
+            def do_HEAD(self) -> None:  # noqa: N802 (http.server API)
+                self._run(head_only=True)
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                self._run()
 
             def log_message(self, format: str, *args) -> None:
                 logger.debug(

@@ -76,6 +76,11 @@ _TRIAGED = obs_metrics.counter(
     "repro_stream_triaged_total",
     "Open alarms triaged against the live ring.",
 )
+_AUTO_CLOSED = obs_metrics.counter(
+    "repro_stream_alarms_auto_closed_total",
+    "Alarms auto-resolved as decayed (no re-fire within the "
+    "configured window horizon).",
+)
 _WATERMARK_LAG = obs_metrics.gauge(
     "repro_stream_watermark_lag_seconds",
     "Event-time distance between the stream head and the close "
@@ -97,6 +102,8 @@ class WindowResult:
     #: Alarm ids merged into already-stored alarms by dedup.
     merged: list[str] = field(default_factory=list)
     triage: list[TriageResult] = field(default_factory=list)
+    #: Alarm ids auto-resolved as decayed when this window sealed.
+    auto_closed: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -110,6 +117,7 @@ class StreamStats:
     alarms: int = 0
     alarms_merged: int = 0
     triaged: int = 0
+    auto_closed: int = 0
 
 
 class StreamEngine:
@@ -125,6 +133,7 @@ class StreamEngine:
         alarmdb: AlarmDatabase | None = None,
         dedup_window: float | None = None,
         triage: bool = False,
+        auto_close_windows: int | None = None,
         config: SystemConfig | None = None,
         on_window: Callable[[WindowResult], None] | None = None,
         workers: int = 1,
@@ -136,7 +145,12 @@ class StreamEngine:
         sealed on-disk partition, so alarms stored in a file-backed
         ``alarmdb`` can be triaged by a *later process* against the
         archive (``ExtractionSystem.from_archive``) even after this
-        engine — and its in-RAM ring — is gone."""
+        engine — and its in-RAM ring — is gone.
+
+        ``auto_close_windows`` is the lifecycle decay horizon: when a
+        window seals, open/acked alarms whose interval last grew more
+        than that many windows ago (dedup merges extend ``end`` on
+        every re-fire) are resolved with verdict ``decayed``."""
         self.detectors = list(detectors)
         self.ring = WindowRing(
             window_seconds=window_seconds,
@@ -147,6 +161,11 @@ class StreamEngine:
         )
         self.alarmdb = alarmdb or AlarmDatabase()
         self.dedup_window = dedup_window
+        if auto_close_windows is not None and auto_close_windows < 1:
+            raise ValueError(
+                f"auto_close_windows must be >= 1: {auto_close_windows!r}"
+            )
+        self.auto_close_windows = auto_close_windows
         self.config = config or SystemConfig()
         self.system: ExtractionSystem | None = None
         if triage:
@@ -233,6 +252,18 @@ class StreamEngine:
                     result.merged.append(stored_id)
                     self.stats.alarms_merged += 1
         self.stats.windows_closed += 1
+        if self.auto_close_windows is not None:
+            horizon = (
+                self.auto_close_windows * self.ring.window_seconds
+            )
+            result.auto_closed = self.alarmdb.auto_close(
+                before=window.end - horizon,
+                note=(
+                    f"no re-fire within {self.auto_close_windows} "
+                    f"windows"
+                ),
+            )
+            self.stats.auto_closed += len(result.auto_closed)
         if self.system is not None \
                 and self.alarmdb.count(AlarmStatus.OPEN):
             result.triage = self.system.process_open_alarms(
@@ -247,6 +278,8 @@ class StreamEngine:
                 _ALARMS_MERGED.inc(len(result.merged))
             if result.triage:
                 _TRIAGED.inc(len(result.triage))
+            if result.auto_closed:
+                _AUTO_CLOSED.inc(len(result.auto_closed))
             _SEAL_SECONDS.observe(time.perf_counter() - started)
         logger.debug(
             "sealed window %d [%s, %s): %d alarms, %d merged, "

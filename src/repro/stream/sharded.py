@@ -104,6 +104,7 @@ class ShardedStreamEngine(StreamEngine):
         alarmdb: AlarmDatabase | None = None,
         dedup_window: float | None = None,
         triage: bool = False,
+        auto_close_windows: int | None = None,
         config: SystemConfig | None = None,
         on_window=None,
         archive=None,
@@ -128,6 +129,7 @@ class ShardedStreamEngine(StreamEngine):
             alarmdb=alarmdb,
             dedup_window=dedup_window,
             triage=triage,
+            auto_close_windows=auto_close_windows,
             config=config,
             on_window=on_window,
             workers=workers,
