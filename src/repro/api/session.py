@@ -61,7 +61,11 @@ from repro.flows.flowio import (
 from repro.flows.record import FlowFeature
 from repro.flows.store import FlowStore
 from repro.flows.trace import FlowTrace
-from repro.obs import metrics as obs_metrics, trace as obs_trace
+from repro.obs import (
+    events as obs_events,
+    metrics as obs_metrics,
+    trace as obs_trace,
+)
 from repro.stream import (
     ReplayDriver,
     ShardedStreamEngine,
@@ -234,13 +238,62 @@ class Session:
             raise SpecError(f"unknown mode {mode!r}",
                             field="execution.mode")
         sink = self.spec.sink
+        execution = self.spec.execution
         if sink.metrics_port is not None or sink.serve_port is not None:
             # Sticky for the process: the spec asked for telemetry, so
             # every instrumented layer this run touches records.
             obs_metrics.enable()
+        if sink.span_log is not None:
+            obs_trace.configure(sink.span_log)
+        journal = None
+        previous_journal = None
+        if sink.events_path is not None \
+                or execution.flight_recorder is not None:
+            journal = obs_events.EventJournal(
+                sink.events_path,
+                recorder_events=(
+                    execution.flight_recorder
+                    or obs_events.DEFAULT_RECORDER_EVENTS
+                ),
+            )
+            previous_journal = obs_events.install(journal)
         logger.debug("running session mode %s", mode)
-        with obs_trace.span(f"session.{mode}") as total:
-            result: RunResult = runner()
+        root = None
+        if journal is not None:
+            root = journal.emit(
+                "run.start", mode=mode, workers=execution.workers
+            )
+        try:
+            with obs_events.causal(root), \
+                    obs_trace.span(f"session.{mode}") as total:
+                result: RunResult = runner()
+        except BaseException as exc:
+            # The black box: a dying run dumps its last-N events
+            # before the exception propagates, so the operator can
+            # read what the pipeline was doing when it went down.
+            if journal is not None:
+                journal.emit(
+                    "run.end", parent=root,
+                    outcome=type(exc).__name__,
+                )
+                journal.dump_recorder(
+                    reason=f"{type(exc).__name__}: {exc}"
+                )
+                obs_events.install(previous_journal)
+                journal.close()
+            raise
+        if journal is not None:
+            journal.emit(
+                "run.end", parent=root,
+                outcome="interrupted" if result.interrupted else "ok",
+            )
+            obs_events.install(previous_journal)
+            journal.close()
+            result.payload.setdefault("run_id", journal.run)
+            if sink.events_path is not None:
+                result.payload.setdefault(
+                    "events_path", sink.events_path
+                )
         result.timings.setdefault("total", total.seconds)
         return result
 
@@ -1263,6 +1316,26 @@ class SessionBuilder:
     def reports(self, directory: str) -> "SessionBuilder":
         """Write rendered Table-1 triage reports into a directory."""
         self._sink = replace(self._sink, report_dir=directory)
+        return self
+
+    def events(
+        self,
+        directory: str,
+        *,
+        flight_recorder: int | None = None,
+        span_log: int | None = None,
+    ) -> "SessionBuilder":
+        """Journal the run's provenance events into ``directory``.
+
+        ``flight_recorder`` keeps the last N events for a crash dump;
+        ``span_log`` resizes the span history backing ``/status`` and
+        the Chrome trace export (default 512)."""
+        self._sink = replace(self._sink, events_path=directory,
+                             span_log=span_log)
+        if flight_recorder is not None:
+            self._execution = replace(
+                self._execution, flight_recorder=flight_recorder
+            )
         return self
 
     def serve(

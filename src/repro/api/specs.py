@@ -269,6 +269,18 @@ class ExecutionSpec:
         "help": "auto-resolve alarms not re-fired within this many "
                 "windows (verdict 'decayed'; default: off)",
     })
+    #: Crash black box: keep the last N provenance events in memory
+    #: and dump them as one JSON file when the run dies on an
+    #: exception (or ``repro serve`` catches SIGTERM). ``None``
+    #: (default) records only if ``sink.events_path`` is set, at the
+    #: journal's default depth.
+    flight_recorder: int | None = field(default=None, metadata={
+        "flag": "--flight-recorder",
+        "metavar": "EVENTS",
+        "help": "keep the last N provenance events and dump them on "
+                "crash/SIGTERM (default: journal default when "
+                "sink.events_path is set, else off)",
+    })
 
     def __post_init__(self) -> None:
         _require(self.mode in EXECUTION_MODES, "execution.mode",
@@ -293,6 +305,8 @@ class ExecutionSpec:
                  f"must be positive: {self.speedup!r}")
         if self.auto_close_windows is not None:
             _check_int(self, "execution", "auto_close_windows", 1)
+        if self.flight_recorder is not None:
+            _check_int(self, "execution", "flight_recorder", 1)
         from repro.parallel.executor import IPC_MODES
 
         _require(self.ipc in IPC_MODES, "execution.ipc",
@@ -357,9 +371,30 @@ class SinkSpec:
     })
     #: Serve the embedded dashboard page at ``/`` on the console port.
     dashboard: bool = True
+    #: Directory for the structured provenance journal: every pipeline
+    #: lifecycle step (chunk → window → shard task → verdict → alarm →
+    #: archive) appends one causally-linked JSON line, rotated by
+    #: size. ``repro obs lineage`` and the console's
+    #: ``/api/events/stream`` (SSE) read it. ``None`` (default) off.
+    events_path: str | None = field(default=None, metadata={
+        "flag": "--events",
+        "metavar": "DIR",
+        "help": "write the structured provenance event journal "
+                "(rotated JSONL) into this directory",
+    })
+    #: Span-log bound (``repro.obs.trace`` history depth) for this
+    #: run; ``None`` keeps the process default (512).
+    span_log: int | None = field(default=None, metadata={
+        "flag": "--span-log",
+        "metavar": "SPANS",
+        "help": "bound of the in-memory span log backing /status and "
+                "the Chrome trace export (default: 512)",
+    })
 
     def __post_init__(self) -> None:
         _check_mapping(self, "sink", "archive_options")
+        if self.span_log is not None:
+            _check_int(self, "sink", "span_log", 1)
         for name in ("metrics_port", "serve_port"):
             value = getattr(self, name)
             if value is not None:

@@ -57,7 +57,7 @@ from repro.flows.filter import FilterNode, compile_mask, parse_filter
 from repro.flows.record import FlowFeature, FlowRecord
 from repro.flows.table import FLOW_DTYPE, FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS, FlowTrace, TraceStats
-from repro.obs import metrics as obs_metrics
+from repro.obs import events as obs_events, metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.parallel.executor import ShardExecutor
@@ -198,8 +198,7 @@ class ArchiveReader:
                 time.time_ns() - stamp < 50_000_000:  # 50 ms
             stamp = None
         for stray in self.layout.stray_files():
-            self.layout.quarantine(stray, "orphaned temporary file")
-            self._quarantined += 1
+            self._quarantine(stray, "orphaned temporary file")
         live: list[Partition] = []
         superseded: set[str] = set()
         seen: set[str] = set()
@@ -225,18 +224,16 @@ class ArchiveReader:
                 if age <= 60.0:
                     seen.discard(path.name)
                     continue
-                self.layout.quarantine(
+                self._quarantine(
                     path, "partition without a zone-map sidecar"
                 )
-                self._quarantined += 1
                 continue
             try:
                 partition = load_partition(key, path, zone_text)
             except CodecError:
                 raise
             except ArchiveError as exc:
-                self.layout.quarantine(path, str(exc))
-                self._quarantined += 1
+                self._quarantine(path, str(exc))
                 continue
             self._loaded[path.name] = partition
             live.append(partition)
@@ -302,6 +299,17 @@ class ArchiveReader:
 
     # -- the pruned scan ---------------------------------------------------
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Quarantine one bad file: move, count, journal."""
+        self.layout.quarantine(path, reason)
+        self._quarantined += 1
+        if obs_events.enabled():
+            obs_events.emit(
+                "archive.quarantine",
+                path=path.name,
+                reason=reason,
+            )
+
     def _note_plan(self, plan: QueryPlan) -> None:
         """Publish one query's plan: ``last_plan`` plus obs counters."""
         self.last_plan = plan
@@ -314,6 +322,15 @@ class ArchiveReader:
                 _PARTITIONS_SCANNED.inc(plan.scanned)
             if plan.pushdown:
                 _PUSHDOWN.labels(tier=plan.pushdown).inc()
+        if obs_events.enabled():
+            obs_events.emit(
+                "planner.query",
+                query=plan.query,
+                partitions=plan.partitions,
+                pruned=plan.pruned_time + plan.pruned_filter,
+                scanned=plan.scanned,
+                pushdown=plan.pushdown or None,
+            )
 
     def _window_tables(
         self,

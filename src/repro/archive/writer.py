@@ -46,7 +46,7 @@ from repro.archive.layout import (
 from repro.errors import ArchiveError
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
-from repro.obs import metrics as obs_metrics
+from repro.obs import events as obs_events, metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.parallel.partition import PartitionSpec
@@ -249,6 +249,16 @@ class ArchiveWriter:
             if sealed:
                 _PARTITIONS_SEALED.inc()
             _ROWS_ARCHIVED.inc(len(table))
+        if obs_events.enabled():
+            obs_events.emit(
+                "archive.partition",
+                slice=slice_index,
+                shard=shard,
+                seq=seq,
+                rows=len(table),
+                sealed=sealed or None,
+                path=path.name,
+            )
         return path
 
     # -- buffered ingest ----------------------------------------------------

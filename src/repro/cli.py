@@ -340,6 +340,43 @@ def build_parser() -> argparse.ArgumentParser:
              "Prometheus exposition",
     )
 
+    o_lineage = osub.add_parser(
+        "lineage",
+        help="reconstruct one alarm's provenance chain (verdict -> "
+             "window -> chunks -> shard tasks -> archive partitions) "
+             "from an event journal",
+    )
+    o_lineage.add_argument("alarm_id", help="alarm id to walk back")
+    o_lineage.add_argument(
+        "--events", required=True, metavar="DIR",
+        help="event journal directory (sink.events of the run)")
+    o_lineage.add_argument(
+        "--run", default=None, metavar="RUN_ID",
+        help="journal run id (default: the only run in the "
+             "directory; required when several runs share it)")
+    o_lineage.add_argument(
+        "--json", action="store_true",
+        help="print the lineage document as JSON instead of the "
+             "greppable rendering")
+
+    o_trace = osub.add_parser(
+        "trace",
+        help="run a session config with span tracing and print the "
+             "span log to stdout (summary goes to stderr)",
+    )
+    o_trace.add_argument("config", help="session config (TOML)")
+    o_trace.add_argument(
+        "--set", action="append", default=[], dest="overrides",
+        metavar="SECTION.KEY=VALUE",
+        help="override any spec field (repeatable; values parse as "
+             "TOML, else strings)",
+    )
+    o_trace.add_argument(
+        "--chrome", action="store_true",
+        help="print Chrome trace-event JSON (load it in Perfetto or "
+             "chrome://tracing) instead of the plain span table",
+    )
+
     serve_cmd = sub.add_parser(
         "serve",
         help="long-running operational mode: run a stream/triage "
@@ -841,6 +878,11 @@ def _cmd_archive(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "lineage":
+        return _obs_lineage(args)
+    if args.obs_command == "trace":
+        return _obs_trace(args)
+
     from repro.obs import metrics as obs_metrics
     from repro.obs.serve import render_prometheus, status_payload
 
@@ -865,6 +907,76 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         sys.stdout.write("\n")
     else:
         sys.stdout.write(render_prometheus())
+    return 130 if result.interrupted else 0
+
+
+def _obs_lineage(args: argparse.Namespace) -> int:
+    from repro.obs import events as obs_events
+
+    chain = obs_events.lineage(
+        obs_events.read_journal(args.events, run=args.run),
+        args.alarm_id,
+    )
+    if args.json:
+        json.dump(chain, sys.stdout, default=str)
+        sys.stdout.write("\n")
+        return 0
+
+    # Greppable rendering: every line is "<label>: key=value ...",
+    # the first line carries the alarm id — `repro obs lineage X |
+    # grep window` style pipelines are the intended consumer.
+    def line(label: str, record: dict[str, Any] | None) -> str:
+        if record is None:
+            return f"  {label}: (not in journal)"
+        fields = " ".join(
+            f"{key}={record[key]}"
+            for key in record
+            if key not in ("id", "ts", "run", "parent", "kind")
+        )
+        return f"  {label}: id={record['id']} {fields}".rstrip()
+
+    print(f"alarm {chain['alarm_id']} run={chain['run']}")
+    print(line("anchor", chain["anchor"]))
+    for record in chain["transitions"]:
+        print(line("transition", record))
+    print(line("verdict", chain["verdict"]))
+    print(line("window", chain["window"]))
+    for record in chain["chunks"]:
+        print(line("chunk", record))
+    for record in chain["tasks"]:
+        print(line(f"task[{record['kind']}]", record))
+    for record in chain["partitions"]:
+        print(line("partition", record))
+    print(line("run.start", chain["run_start"]))
+    return 0
+
+
+def _obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics, trace as obs_trace
+
+    spec = api.load_spec(args.config)
+    overrides = _parse_overrides(args.overrides)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    # Metrics on: worker child spans ship back over the metered-task
+    # seam, so the exported trace covers the shard pool too.
+    obs_metrics.enable()
+    result = api.Session(spec).run()
+    print(result.summary(), file=sys.stderr)
+    if args.chrome:
+        json.dump(obs_trace.chrome_trace(), sys.stdout)
+        sys.stdout.write("\n")
+    else:
+        for record in obs_trace.records():
+            tail = (
+                f" parent={record.parent_id}"
+                if record.parent_id else ""
+            )
+            print(
+                f"{record.name} {record.seconds:.6f}s "
+                f"trace={record.trace_id} span={record.span_id}"
+                + tail
+            )
     return 130 if result.interrupted else 0
 
 
@@ -895,19 +1007,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # this line for the bound port while the run is still going.
         print(f"console on http://127.0.0.1:{port}/ "
               f"(/metrics /status /api/alarms /api/windows "
-              f"/api/archive/query)", flush=True)
+              f"/api/archive/query /api/events/stream)", flush=True)
 
     on_start = on_window = None
     if spec.execution.mode == "stream":
         on_start, on_window = _stream_callbacks()
-    result = api.Session(
-        spec, on_window=on_window, on_start=on_start,
-        on_serve=on_serve,
-    ).run()
-    code = _finish(spec, result, summary=True)
-    if args.linger and not result.interrupted:
-        code = _linger(spec, bound[0] if bound else args.port,
-                       args.linger)
+    # A supervisor stops `repro serve` with SIGTERM; route it through
+    # the same graceful path as ctrl-C so the run winds down cleanly
+    # (stream drains, journal gets its run.end, linger dumps the
+    # flight recorder and closes the alarm DB) instead of dying
+    # mid-write under the default handler.
+    import signal
+
+    def _terminate(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - embedded, non-main thread
+        previous_term = None
+    try:
+        try:
+            result = api.Session(
+                spec, on_window=on_window, on_start=on_start,
+                on_serve=on_serve,
+            ).run()
+            code = _finish(spec, result, summary=True)
+            if args.linger and not result.interrupted:
+                code = _linger(spec, bound[0] if bound else args.port,
+                               args.linger)
+        except KeyboardInterrupt:
+            # A phase outside the stream loop's own interrupt
+            # handling (training, archive attach) took the signal;
+            # Session.run already dumped the flight recorder and
+            # closed the journal on its way out.
+            code = 130
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
     return code
 
 
@@ -921,6 +1059,7 @@ def _linger(spec: api.SessionSpec, port: int, seconds: float) -> int:
     """
     import time
 
+    from repro.obs import events as obs_events
     from repro.obs.console import ConsoleServer
     from repro.system.alarmdb import AlarmDatabase
 
@@ -938,6 +1077,21 @@ def _linger(spec: api.SessionSpec, port: int, seconds: float) -> int:
                 return None
         return reader_cache[0]
 
+    # The run's journal closed with the run; linger opens its own
+    # (distinct run id — reusing the run's would collide with its
+    # segment names in a shared directory) so console lifecycle moves
+    # keep emitting, the SSE stream stays live, and a SIGTERM during
+    # linger still has a flight recorder to dump.
+    journal = obs_events.EventJournal(
+        spec.sink.events_path,
+        run=f"{obs_events.run_id()}-linger",
+        recorder_events=(
+            spec.execution.flight_recorder
+            or obs_events.DEFAULT_RECORDER_EVENTS
+        ),
+    )
+    previous_journal = obs_events.install(journal)
+    journal.emit("run.start", mode="linger")
     server = ConsoleServer(
         port=port,
         status=lambda: {"mode": "linger"},
@@ -948,15 +1102,24 @@ def _linger(spec: api.SessionSpec, port: int, seconds: float) -> int:
     deadline = time.monotonic() + seconds
     print(f"lingering on http://127.0.0.1:{server.port}/ for "
           f"{seconds:g}s (ctrl-C to stop)", flush=True)
+    code = 0
+    outcome = "ok"
     try:
         while time.monotonic() < deadline:
             time.sleep(min(0.2, max(0.0, deadline - time.monotonic())))
     except KeyboardInterrupt:
-        return 130
+        # SIGINT, or SIGTERM rerouted by _cmd_serve: dump the black
+        # box before the orderly teardown below.
+        code = 130
+        outcome = "interrupted"
+        journal.dump_recorder(reason="terminated while lingering")
     finally:
+        journal.emit("run.end", outcome=outcome)
+        obs_events.install(previous_journal)
+        journal.close()
         server.stop()
         db.close()
-    return 0
+    return code
 
 
 def _cmd_alarms(args: argparse.Namespace) -> int:

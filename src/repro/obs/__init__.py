@@ -1,6 +1,6 @@
-"""repro.obs — the telemetry plane: metrics, spans, serve sink.
+"""repro.obs — the telemetry plane: metrics, spans, events, serve sink.
 
-Three small stdlib-only modules:
+Four small stdlib-only modules:
 
 - :mod:`repro.obs.metrics` — a process-wide registry of named
   counters, gauges and fixed-bucket histograms. Disabled by default:
@@ -15,7 +15,14 @@ Three small stdlib-only modules:
   deltas into the parent alongside task results.
 - :mod:`repro.obs.trace` — ``with trace.span("detect.window"):``
   lightweight span timing into a bounded in-memory log; the session
-  facade's ``RunResult.timings`` is fed from these spans.
+  facade's ``RunResult.timings`` is fed from these spans. Spans carry
+  ``trace_id``/``span_id`` causal identity that propagates through
+  the shard pool and exports as Chrome trace-event JSON.
+- :mod:`repro.obs.events` — the provenance plane: an append-only
+  rotated JSONL journal of the pipeline lifecycle (chunk → window →
+  shard task → verdict → alarm → archive), with causal ``parent``
+  links, a live tail for the console's SSE stream, a crash flight
+  recorder, and ``lineage()`` walking an alarm back to its chunks.
 - :mod:`repro.obs.serve` — Prometheus text rendering plus an
   ``http.server``-based endpoint (``/metrics`` and ``/status``)
   started by ``Session.run()`` when a spec sets ``metrics_port``.
@@ -27,7 +34,8 @@ without cycles.
 
 from __future__ import annotations
 
-from repro.obs import metrics, trace
+from repro.obs import events, metrics, trace
+from repro.obs.events import EventJournal
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,9 +45,11 @@ from repro.obs.metrics import (
 
 __all__ = [
     "Counter",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "events",
     "metrics",
     "trace",
 ]

@@ -44,12 +44,20 @@ from repro.errors import (
     FilterError,
     ReproError,
 )
+from repro.obs import events as obs_events
 from repro.obs.dashboard import DASHBOARD_HTML
 from repro.obs.serve import CONTENT_TYPE_JSON, MetricsServer, Response
 
 __all__ = ["ConsoleServer"]
 
 CONTENT_TYPE_HTML = "text/html; charset=utf-8"
+CONTENT_TYPE_SSE = "text/event-stream; charset=utf-8"
+
+#: Seconds between liveness beats on an idle SSE stream. Each beat is
+#: an SSE comment line — ignored by EventSource, but the write (and
+#: flush) is how the handler notices a hung-up client and how it
+#: polls the server's shutdown flag.
+SSE_HEARTBEAT_SECONDS = 1.0
 
 #: Maximum alarms per page when the client does not say.
 DEFAULT_PAGE = 100
@@ -147,6 +155,8 @@ class ConsoleServer(MetricsServer):
             return self._api_windows(query)
         if path == "/api/archive/query":
             return self._api_archive_query(query)
+        if path == "/api/events/stream":
+            return self._api_events_stream(query)
         return super()._get(path, query)
 
     def _post(
@@ -257,6 +267,60 @@ class ConsoleServer(MetricsServer):
             "status": new_status,
             "actor": actor,
         })
+
+    # ------------------------------------------------------------------
+    # The live event stream (SSE)
+    # ------------------------------------------------------------------
+
+    def _api_events_stream(
+        self, query: dict[str, str]
+    ) -> Response:
+        """``GET /api/events/stream`` — the journal as Server-Sent
+        Events.
+
+        Every event goes out as ``id: <n>\\ndata: <json>\\n\\n``; a
+        reconnecting ``EventSource`` replays its ``Last-Event-ID``
+        (surfaced here as the ``last_id`` query default) and the
+        journal's ``events_since`` guarantees the resume has no gaps
+        and no duplicates. Idle streams carry comment heartbeats.
+        """
+        journal = obs_events.active()
+        if journal is None:
+            return _error(404, "no event journal active")
+        try:
+            last_id = _int_param(query, "last_id", 0)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        owner = self
+
+        def stream(wfile: Any) -> None:
+            cursor = last_id
+            try:
+                wfile.write(b": repro event stream\n\n")
+                wfile.flush()
+                while not owner.stopping.is_set():
+                    for record in journal.events_since(cursor):
+                        cursor = record["id"]
+                        data = json.dumps(
+                            record, separators=(",", ":"),
+                            default=str,
+                        )
+                        wfile.write(
+                            f"id: {cursor}\ndata: {data}\n\n"
+                            .encode("utf-8")
+                        )
+                    wfile.flush()
+                    if not journal.wait(
+                        cursor, timeout=SSE_HEARTBEAT_SECONDS
+                    ):
+                        wfile.write(b": heartbeat\n\n")
+                        wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                # Client hung up mid-stream: unwind quietly; the
+                # handler thread ends, the journal is untouched.
+                pass
+
+        return (200, CONTENT_TYPE_SSE, stream, dict(_NO_STORE))
 
     # ------------------------------------------------------------------
     # Windows + archive

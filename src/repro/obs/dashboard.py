@@ -2,9 +2,13 @@
 
 One self-contained HTML document (no external assets, no JS
 dependencies) served by :class:`repro.obs.console.ConsoleServer` at
-``/`` and ``/dashboard``. It polls the console's own endpoints —
+``/`` and ``/dashboard``. It subscribes to the console's event
+stream (``EventSource`` on ``/api/events/stream``) and refreshes on
+push — any pipeline lifecycle event triggers a debounced re-fetch of
 ``/metrics`` (Prometheus text, parsed with a regex) and
-``/api/alarms`` — every two seconds and renders:
+``/api/alarms``. When the stream is unavailable (no journal active,
+proxy strips SSE) it falls back to the PR 7 behavior: polling the
+same endpoints every two seconds. Rendered either way:
 
 - stat tiles: live flows/s (derived from successive
   ``repro_flows_ingested_total`` samples), watermark lag, windows
@@ -142,8 +146,10 @@ const STATE_COLOR = {
   resolved: "var(--good)", dismissed: "var(--good)",
 };
 const ACTIONABLE = ["open", "acked", "assigned", "escalated", "validated"];
-const POLL_MS = 2000;
+const POLL_MS = 2000;            // fallback cadence when SSE is down
+const REFRESH_DEBOUNCE_MS = 250; // coalesce event bursts into one fetch
 let lastFlows = null, lastFlowsAt = null;
+let pollTimer = null, refreshTimer = null, live = false;
 
 function metric(text, name) {
   const re = new RegExp("^" + name + "(?:\\\\{[^}]*\\\\})? (.+)$", "m");
@@ -221,7 +227,8 @@ async function pollAlarms() {
     : '<tr><td class="empty" colspan="7">no actionable alarms</td></tr>';
   document.getElementById("queue").innerHTML = body;
   document.getElementById("meta").textContent =
-    data.total + " alarms \\u00b7 refreshed "
+    data.total + " alarms \\u00b7 "
+    + (live ? "live" : "polling") + " \\u00b7 refreshed "
     + new Date().toLocaleTimeString();
 }
 
@@ -232,8 +239,37 @@ async function tick() {
     document.getElementById("meta").textContent = "poll failed: " + e.message;
   }
 }
+
+// Push-first refresh: the event stream announces lifecycle activity
+// (window sealed, alarm moved, partition written) and we re-fetch on
+// a short debounce. Polling is strictly the fallback — it runs until
+// the stream opens and resumes whenever the stream errors
+// (EventSource reconnects on its own, carrying Last-Event-ID).
+function scheduleRefresh() {
+  if (refreshTimer) return;
+  refreshTimer = setTimeout(() => { refreshTimer = null; tick(); },
+    REFRESH_DEBOUNCE_MS);
+}
+
+function startPolling() {
+  if (!pollTimer) pollTimer = setInterval(tick, POLL_MS);
+}
+
+function stopPolling() {
+  if (pollTimer) { clearInterval(pollTimer); pollTimer = null; }
+}
+
+function connectEvents() {
+  if (typeof EventSource === "undefined") { startPolling(); return; }
+  const source = new EventSource("/api/events/stream");
+  source.onopen = () => { live = true; stopPolling(); };
+  source.onmessage = scheduleRefresh;
+  source.onerror = () => { live = false; startPolling(); };
+}
+
 tick();
-setInterval(tick, POLL_MS);
+startPolling();
+connectEvents();
 </script>
 </body>
 </html>

@@ -30,7 +30,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 
-from repro.obs import metrics, trace
+from repro.obs import events as obs_events, metrics, trace
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MetricsServer", "render_prometheus", "status_payload"]
@@ -150,6 +150,8 @@ def status_payload(
 ) -> dict[str, Any]:
     """The /status JSON body: span tail + the owner's live status."""
     payload: dict[str, Any] = {
+        "run_id": obs_events.run_id(),
+        "uptime_seconds": round(obs_events.uptime_seconds(), 3),
         "spans": [
             {"name": name, "seconds": seconds}
             for name, seconds in trace.spans()
@@ -163,9 +165,15 @@ def status_payload(
     return payload
 
 
-#: A rendered HTTP response: (status code, content type, body bytes,
+#: A rendered HTTP response: (status code, content type, body,
 #: extra headers). ``_get``/``_post`` return one, or ``None`` for 404.
-Response = tuple[int, str, bytes, dict[str, str]]
+#: The body is normally ``bytes`` (Content-Length framing); a
+#: *callable* body streams instead — it is invoked with the socket's
+#: write file after the headers go out and frames its own output
+#: (the SSE route), with no Content-Length header sent.
+Response = tuple[
+    int, str, "bytes | Callable[[Any], None]", dict[str, str]
+]
 
 
 class MetricsServer:
@@ -193,6 +201,10 @@ class MetricsServer:
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self.port: int | None = None
+        #: Set by :meth:`stop` before the listener shuts down so
+        #: long-lived streaming handlers (SSE) notice and exit their
+        #: write loops instead of pinning the shutdown join.
+        self.stopping = threading.Event()
 
     # ------------------------------------------------------------------
     # Route table
@@ -234,6 +246,7 @@ class MetricsServer:
 
     def start(self) -> "MetricsServer":
         owner = self
+        self.stopping.clear()
 
         class _Handler(BaseHTTPRequestHandler):
             def _parse(self) -> tuple[str, dict[str, str]]:
@@ -244,6 +257,12 @@ class MetricsServer:
                         raw_query, keep_blank_values=True
                     ).items()
                 }
+                # EventSource reconnects resume via the Last-Event-ID
+                # header; surface it to routes as a query default so
+                # the route table stays (path, query) -> Response.
+                last_event = self.headers.get("Last-Event-ID")
+                if last_event is not None:
+                    query.setdefault("last_id", last_event)
                 return urllib.parse.unquote(path), query
 
             def _reply(
@@ -255,11 +274,18 @@ class MetricsServer:
                 status, ctype, body, headers = response
                 self.send_response(status)
                 self.send_header("Content-Type", ctype)
-                self.send_header("Content-Length", str(len(body)))
+                if not callable(body):
+                    self.send_header(
+                        "Content-Length", str(len(body))
+                    )
                 for name, value in headers.items():
                     self.send_header(name, value)
                 self.end_headers()
-                if not head_only:
+                if head_only:
+                    return
+                if callable(body):
+                    body(self.wfile)
+                else:
                     self.wfile.write(body)
 
             def _run(self, head_only: bool = False) -> None:
@@ -348,6 +374,7 @@ class MetricsServer:
     def stop(self) -> None:
         if self._server is None:
             return
+        self.stopping.set()
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:

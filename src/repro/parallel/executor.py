@@ -51,7 +51,7 @@ from repro.errors import ReproError
 from repro.flows import shmem
 from repro.flows.flowio import table_from_bytes, table_to_bytes
 from repro.flows.table import FlowTable
-from repro.obs import metrics as obs_metrics
+from repro.obs import metrics as obs_metrics, trace as obs_trace
 
 __all__ = ["IPC_MODES", "IpcStats", "ShardExecutor"]
 
@@ -167,27 +167,39 @@ def _run_item_task(packed: tuple[Callable[..., Any], tuple]) -> Any:
 
 
 def _run_metered_task(
-    packed: tuple[Callable[..., Any], Any],
-) -> tuple[Any, dict]:
-    """Metric-capturing wrapper around any worker trampoline.
+    packed: tuple[Callable[..., Any], Any, tuple[str, str] | None],
+) -> tuple[Any, dict, list[tuple]]:
+    """Metric- and span-capturing wrapper around any worker trampoline.
 
     Only used while the parent has obs metrics enabled: installs a
     fresh private registry for the duration of the task so whatever
     the task's code path increments (mining candidates, recount
     passes, ...) lands in a per-task delta, then restores the
-    worker's previous registry and ships ``(result, delta)`` back for
-    :meth:`ShardExecutor._pool_map` to fold into the parent registry
-    — the same associative merge the window accumulators use, so any
-    worker count and completion order reproduce the serial counts.
+    worker's previous registry and ships ``(result, delta, spans)``
+    back for :meth:`ShardExecutor._pool_map` to fold into the parent
+    registry — the same associative merge the window accumulators
+    use, so any worker count and completion order reproduce the
+    serial counts.
+
+    ``context`` is the parent's ambient ``(trace_id, span_id)`` at
+    dispatch: the task body runs inside an ``exec.task`` child span
+    of the dispatching span, and every span it opens (captured into a
+    fresh worker-side log — a forked worker inherits the parent's
+    history, which must not ship twice) travels back packed for
+    :func:`repro.obs.trace.adopt`, keeping worker pid/tid so the
+    Chrome trace export lays workers out as their own lanes.
     """
-    fn, item = packed
+    fn, item, context = packed
     local = obs_metrics.MetricsRegistry()
     previous = obs_metrics.install(local)
+    handle = obs_trace.capture(context)
     try:
-        result = fn(item)
+        with obs_trace.span("exec.task"):
+            result = fn(item)
     finally:
         obs_metrics.install(previous)
-    return result, local.snapshot()
+        shipped = obs_trace.drain(handle)
+    return result, local.snapshot(), shipped
 
 
 def _run_broadcast_frames_task(
@@ -343,19 +355,24 @@ class ShardExecutor:
         pool = self._ensure_pool()
         registry = obs_metrics.active()
         if registry is not None:
-            # Fold worker-side metric deltas into the parent registry
-            # alongside the results (counter addition is associative
-            # and commutative, so completion order cannot matter).
-            packed = [(fn, item) for item in packed]
+            # Fold worker-side metric deltas and child spans into the
+            # parent alongside the results (counter addition is
+            # associative and commutative, so completion order cannot
+            # matter; spans carry their own identity and timestamps,
+            # so adoption order cannot either).
+            context = obs_trace.task_context()
+            packed = [(fn, item, context) for item in packed]
             fn = _run_metered_task
         chunksize = max(1, -(-len(packed) // self._pool_size))
         replies = list(pool.map(fn, packed, chunksize=chunksize))
         if registry is None:
             return replies
         results = []
-        for result, delta in replies:
+        for result, delta, shipped in replies:
             if delta:
                 registry.merge(delta)
+            if shipped:
+                obs_trace.adopt(shipped)
             results.append(result)
         return results
 

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 from repro.detect.base import Alarm
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
-from repro.obs import metrics as obs_metrics
+from repro.obs import events as obs_events, metrics as obs_metrics
 from repro.stream.incremental import StreamingDetector
 from repro.stream.window import ClosedWindow, WindowRing
 from repro.system.alarmdb import AlarmDatabase, AlarmStatus
@@ -182,6 +182,10 @@ class StreamEngine:
             )
         self.on_window = on_window
         self.stats = StreamStats()
+        #: Journal bookkeeping (provenance plane): ``chunk.ingest``
+        #: event ids by open-window index, consumed at seal so each
+        #: ``window.seal`` event names its source chunks.
+        self._window_chunks: dict[int, list[int]] = {}
 
     # -- the loop ----------------------------------------------------------
 
@@ -197,6 +201,21 @@ class StreamEngine:
             if ingest.late_dropped:
                 _LATE_DROPPED.inc(ingest.late_dropped)
             _WATERMARK_LAG.set(self.ring.watermark_lag_seconds)
+        if obs_events.enabled():
+            routed_windows = sorted(
+                index for index, _ in ingest.routed
+            )
+            chunk_event = obs_events.emit(
+                "chunk.ingest",
+                seq=self.stats.chunks,
+                rows=ingest.admitted,
+                late=ingest.late_dropped or None,
+                windows=routed_windows or None,
+            )
+            for index in routed_windows:
+                self._window_chunks.setdefault(index, []).append(
+                    chunk_event
+                )
         for index, rows in ingest.routed:
             self._observe(index, rows)
         return [self._seal(window) for window in self.ring.close_due()]
@@ -238,19 +257,44 @@ class StreamEngine:
         metered = obs_metrics.enabled()
         started = time.perf_counter() if metered else 0.0
         result = WindowResult(window=window)
-        for detector in self.detectors:
-            for alarm in detector.close(
-                window.index, window.start, window.end
-            ):
-                stored_id = self.alarmdb.insert(
-                    alarm, dedup_window=self.dedup_window
-                )
-                if stored_id == alarm.alarm_id:
-                    result.alarms.append(alarm)
-                    self.stats.alarms += 1
-                else:
-                    result.merged.append(stored_id)
-                    self.stats.alarms_merged += 1
+        seal_event = None
+        if obs_events.enabled():
+            seal_event = obs_events.emit(
+                "window.seal",
+                index=window.index,
+                start=window.start,
+                end=window.end,
+                flows=window.flows,
+                chunks=self._window_chunks.pop(window.index, None),
+            )
+        else:
+            self._window_chunks.pop(window.index, None)
+        with obs_events.causal(seal_event):
+            for detector in self.detectors:
+                alarms = list(detector.close(
+                    window.index, window.start, window.end
+                ))
+                verdict_event = None
+                if obs_events.enabled():
+                    # The verdict precedes the inserts causally: each
+                    # alarm.* journal row parents to it.
+                    verdict_event = obs_events.emit(
+                        "detector.verdict",
+                        detector=detector.name,
+                        window=window.index,
+                        alarms=len(alarms),
+                    )
+                with obs_events.causal(verdict_event):
+                    for alarm in alarms:
+                        stored_id = self.alarmdb.insert(
+                            alarm, dedup_window=self.dedup_window
+                        )
+                        if stored_id == alarm.alarm_id:
+                            result.alarms.append(alarm)
+                            self.stats.alarms += 1
+                        else:
+                            result.merged.append(stored_id)
+                            self.stats.alarms_merged += 1
         self.stats.windows_closed += 1
         if self.auto_close_windows is not None:
             horizon = (

@@ -40,7 +40,7 @@ from typing import Iterable
 from repro.errors import StoreError
 from repro.flows.table import FlowTable
 from repro.flows.trace import DEFAULT_BIN_SECONDS
-from repro.obs import metrics as obs_metrics
+from repro.obs import events as obs_events, metrics as obs_metrics
 from repro.parallel.executor import ShardExecutor
 from repro.parallel.partition import PartitionSpec
 from repro.stream.incremental import (
@@ -249,14 +249,31 @@ class ShardedStreamEngine(StreamEngine):
         if obs_metrics.enabled():
             _FLUSHES.inc()
             _FLUSHED_ROWS.inc(total)
-        payload_lists = self.executor.map_table_groups(
-            _accumulate_task,
-            groups,
-            [(layouts,)] * len(groups),
-        )
+        # Execution-detail provenance (``exec.*``): the fan-out shape
+        # tracks worker count by design, so these events are excluded
+        # from the journal's canonical (determinism-compared) form.
+        dispatch_event = obs_events.emit(
+            "exec.dispatch",
+            window=index,
+            rows=total,
+            pieces=len(groups),
+        ) if obs_events.enabled() else None
+        with obs_events.causal(dispatch_event):
+            payload_lists = self.executor.map_table_groups(
+                _accumulate_task,
+                groups,
+                [(layouts,)] * len(groups),
+            )
         for payloads in payload_lists:
             for bucket, payload in zip(pending, payloads):
                 bucket.append(payload)
+        if dispatch_event is not None:
+            obs_events.emit(
+                "exec.fold",
+                parent=dispatch_event,
+                window=index,
+                pieces=len(payload_lists),
+            )
 
     # -- window close ------------------------------------------------------
 

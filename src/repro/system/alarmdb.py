@@ -37,6 +37,7 @@ from pathlib import Path
 from repro.detect.base import Alarm, MetadataItem
 from repro.errors import AlarmDatabaseError, AlarmTransitionError
 from repro.flows.record import FlowFeature, format_feature_value
+from repro.obs import events as obs_events
 
 __all__ = [
     "AlarmStatus",
@@ -226,13 +227,30 @@ class AlarmDatabase:
         actor: str = "",
         note: str = "",
     ) -> int:
-        """Append one audit row inside the caller's transaction."""
+        """Append one audit row inside the caller's transaction.
+
+        The single chokepoint every lifecycle write funnels through —
+        which makes it the one place the provenance plane hooks:
+        each audit row doubles as an ``alarm.<action>`` journal event
+        (no-op without an installed journal), parented to whatever
+        caused it (a detector verdict during a stream seal, nothing
+        for an operator move).
+        """
         cursor = self._conn.execute(
             "INSERT INTO alarm_audit (alarm_id, ts, actor, action, "
             "from_status, to_status, note) VALUES (?, ?, ?, ?, ?, ?, ?)",
             (alarm_id, time.time(), actor, action, from_status,
              to_status, note),
         )
+        if obs_events.enabled():
+            obs_events.emit(
+                f"alarm.{action}",
+                alarm_id=alarm_id,
+                from_status=from_status or None,
+                to_status=to_status,
+                actor=actor or None,
+                note=note or None,
+            )
         return int(cursor.lastrowid)
 
     def audit_trail(self, alarm_id: str) -> list[AuditEntry]:
