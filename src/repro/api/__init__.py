@@ -59,6 +59,7 @@ import repro.mining  # noqa: F401,E402  (adopts+registers the engines)
 import repro.synth.presets  # noqa: F401,E402  (registers scenario)
 import repro.stream.sources  # noqa: F401,E402  (registers tail)
 import repro.archive.reader  # noqa: F401,E402  (registers archive)
+import repro.collector  # noqa: F401,E402  (registers udp + metrics)
 
 __all__ = [
     "Registry",

@@ -454,10 +454,13 @@ class Session:
         path = self.spec.detector.train_path
         if path is None:
             return None
+        # The training file is its own artifact: it shares the live
+        # source's bin width but not its grid anchor — a collector
+        # source anchored at the capture's split point must not
+        # re-anchor (and thereby empty) the training bins.
         return FlowTrace(
             read_binary_table(path),
             bin_seconds=self.spec.source.bin_seconds,
-            origin=self.spec.source.origin,
         )
 
     def _write_reports(self, results: list[TriageResult]) -> list[str]:
@@ -675,7 +678,11 @@ class Session:
                 )
             training = external
             tail = None
-            origin = None
+            # Most unbounded sources let the ring anchor its grid on
+            # the first flow seen; a source that declares an explicit
+            # grid (the UDP collector: epoch-aligned, matching what a
+            # file replay of the same capture would use) wins.
+            origin = getattr(source, "stream_origin", None)
             window_seconds = (
                 execution.window_seconds or self.spec.source.bin_seconds
             )
@@ -683,7 +690,7 @@ class Session:
         with obs_trace.span("stream.train", timings, "train"):
             detector.train(training)
         if self.on_start is not None:
-            self.on_start({
+            context = {
                 "mode": "stream",
                 "detector": detector.name,
                 "train_source": (
@@ -694,7 +701,14 @@ class Session:
                 "train_flows": len(training),
                 "flows": len(tail) if tail is not None else None,
                 "window_seconds": window_seconds,
-            })
+            }
+            if hasattr(source, "port"):
+                # A collector source: surface where it listens (the
+                # CLI prints this flushed so CI can discover an
+                # ephemeral port before replaying datagrams).
+                context["listen"] = source.describe()
+                context["port"] = source.port
+            self.on_start(context)
         archive_writer = None
         if sink.archive:
             from repro.archive import ArchiveWriter
@@ -757,12 +771,18 @@ class Session:
                 for w in list(windows)
             ]
 
-        server = self._serve_console(
-            lambda: {
+        def stream_status() -> dict[str, Any]:
+            status: dict[str, Any] = {
                 "mode": "stream",
                 "stats": asdict(engine.stats),
                 "windows": len(windows),
-            },
+            }
+            if hasattr(source, "stats"):
+                status["collector"] = source.stats()
+            return status
+
+        server = self._serve_console(
+            stream_status,
             alarms=db,
             windows=windows_payload,
             archive=self._archive_reader_factory(sink.archive),
@@ -792,6 +812,8 @@ class Session:
                         flush_error = str(exc)
             finally:
                 engine.close()
+                if hasattr(source, "close"):
+                    source.close()
                 if server is not None:
                     server.stop()
         engine_stats = engine.stats
@@ -811,7 +833,19 @@ class Session:
             stats["wall"] = round(replay_stats.wall_seconds, 2)
             stats["rate"] = round(replay_stats.flows_per_second)
             stats["speedup"] = round(replay_stats.achieved_speedup)
+        if hasattr(source, "stats"):
+            collector_stats = source.stats()
+            stats["port"] = collector_stats["port"]
+            stats["malformed"] = collector_stats["malformed"]
+            stats["dropped"] = (
+                collector_stats["datagrams_dropped"]
+                + collector_stats["flows_dropped"]
+            )
+            stats["seq_lost"] = collector_stats["sequence_lost"]
+            stats["exporters"] = len(collector_stats["exporters"])
         payload: dict[str, Any] = {}
+        if hasattr(source, "stats"):
+            payload["collector"] = collector_stats
         if server is not None:
             payload["metrics_port"] = server.port
             if sink.serve_port is not None:

@@ -32,8 +32,9 @@ subcommands.
 
 Exit codes map the :mod:`repro.errors` hierarchy: ``2`` bad spec or
 configuration, ``3`` unknown registry name, ``4`` filter errors,
-``5`` codec/schema errors, ``6`` archive errors, ``1`` any other
-library error, ``130`` interrupted.
+``5`` codec/schema errors, ``6`` archive errors, ``7`` collector
+socket bind/permission failures, ``1`` any other library error,
+``130`` interrupted.
 """
 
 from __future__ import annotations
@@ -52,6 +53,7 @@ from repro.api.specs import DetectorSpec, ExecutionSpec, SinkSpec
 from repro.errors import (
     ArchiveError,
     CodecError,
+    CollectorError,
     ConfigurationError,
     FilterError,
     RegistryError,
@@ -78,6 +80,7 @@ EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (FilterError, 4),
     (CodecError, 5),
     (ArchiveError, 6),
+    (CollectorError, 7),
 )
 
 
@@ -245,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("config", help="session config (TOML)")
     run.add_argument("--workers", type=_workers_arg, default=None,
                      help="override [execution] workers")
+    run.add_argument(
+        "--port", type=int, default=None,
+        help="override [source.options] port for collector (udp) "
+             "sources; 0 binds an ephemeral port, reported in the "
+             "summary line",
+    )
     run.add_argument(
         "--set", action="append", default=[], dest="overrides",
         metavar="SECTION.KEY=VALUE",
@@ -672,15 +681,20 @@ def _stream_callbacks():
 
     def on_start(context: dict) -> None:
         flows = context["flows"]
-        streaming = (
-            f"streaming {flows} flows" if flows is not None
-            else "tailing live"
-        )
+        if "listen" in context:
+            streaming = f"collecting on {context['listen']}"
+        elif flows is not None:
+            streaming = f"streaming {flows} flows"
+        else:
+            streaming = "tailing live"
         print(
             f"trained {context['detector']} on "
             f"{context['train_source']} "
             f"({context['train_flows']} flows); {streaming} in "
-            f"{context['window_seconds']:.0f}s windows"
+            f"{context['window_seconds']:.0f}s windows",
+            # Flushed: CI discovers an ephemeral collector port from
+            # this line while the process keeps running.
+            flush=True,
         )
 
     def on_window(result) -> None:
@@ -813,6 +827,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     overrides = _parse_overrides(args.overrides)
     if args.workers is not None:
         overrides.setdefault("execution", {})["workers"] = args.workers
+    if getattr(args, "port", None) is not None:
+        # Merge into the kind-specific options table rather than
+        # replacing it, so --port composes with a config's other
+        # collector options.
+        options = dict(spec.source.options)
+        options["port"] = args.port
+        overrides.setdefault("source", {})["options"] = options
     if overrides:
         spec = spec.with_overrides(**overrides)
     on_start = on_window = None

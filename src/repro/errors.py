@@ -27,6 +27,7 @@ __all__ = [
     "SpecError",
     "RegistryError",
     "EvaluationError",
+    "CollectorError",
 ]
 
 
@@ -135,3 +136,13 @@ class RegistryError(SpecError):
 
 class EvaluationError(ReproError):
     """Evaluation-harness failure (unknown experiment, bad ground truth)."""
+
+
+class CollectorError(ReproError):
+    """UDP collector failure: socket bind/permission or listener fault.
+
+    Raised when the collector cannot stand up its listening socket
+    (address in use, permission denied on a privileged port, bad listen
+    address). Maps to CLI exit code 7 so supervisors can distinguish
+    "the port is taken" from config errors and retry/re-schedule.
+    """

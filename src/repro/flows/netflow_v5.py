@@ -42,6 +42,7 @@ __all__ = [
     "V5Header",
     "encode_packet",
     "decode_packet",
+    "decode_packet_tolerant",
     "encode_stream",
     "decode_stream",
 ]
@@ -175,7 +176,36 @@ def decode_packet(
 
     Returns the header and the flow records with absolute timestamps
     reconstructed against ``boot_time`` and sampling rate propagated onto
-    each record.
+    each record. Raises :class:`~repro.errors.CodecError` when the
+    packet body is shorter than its declared record count — file
+    containers and IPC frames treat truncation as corruption. The UDP
+    listener hot path uses :func:`decode_packet_tolerant` instead.
+    """
+    header, flows, malformed = decode_packet_tolerant(data, boot_time)
+    if malformed:
+        expected = HEADER_SIZE + header.count * RECORD_SIZE
+        raise CodecError(
+            f"truncated packet: {len(data)} bytes < expected {expected} "
+            f"(record {len(flows)} cut at offset "
+            f"{HEADER_SIZE + len(flows) * RECORD_SIZE})"
+        )
+    return header, flows
+
+
+def decode_packet_tolerant(
+    data: bytes, boot_time: float = 0.0
+) -> tuple[V5Header, list[FlowRecord], int]:
+    """Decode a v5 packet, salvaging complete records from a short body.
+
+    Datagrams on the wire arrive truncated (fragmentation, broken
+    exporters); aborting the whole packet would discard good records. A
+    header that declares ``count`` records backed by fewer complete
+    48-byte bodies decodes the complete ones and reports the remainder
+    as the third element of the return tuple (the malformed-record
+    count) instead of raising. Only an unreadable header — fewer than
+    24 bytes, or a version other than 5 — raises
+    :class:`~repro.errors.CodecError`, since there is nothing to
+    salvage.
     """
     if len(data) < HEADER_SIZE:
         raise CodecError(
@@ -194,11 +224,8 @@ def decode_packet(
     ) = _HEADER.unpack_from(data, 0)
     if version != NETFLOW_V5_VERSION:
         raise CodecError(f"unsupported NetFlow version {version}")
-    expected = HEADER_SIZE + count * RECORD_SIZE
-    if len(data) < expected:
-        raise CodecError(
-            f"truncated packet: {len(data)} bytes < expected {expected}"
-        )
+    whole = min(count, (len(data) - HEADER_SIZE) // RECORD_SIZE)
+    malformed = count - whole
     sampling_mode = sampling >> 14
     sampling_interval = sampling & _SAMPLING_INTERVAL_MASK
     if sampling_mode == 0 or sampling_interval == 0:
@@ -215,7 +242,7 @@ def decode_packet(
     )
     flows = []
     offset = HEADER_SIZE
-    for _ in range(count):
+    for _ in range(whole):
         (
             src_ip,
             dst_ip,
@@ -255,7 +282,7 @@ def decode_packet(
                 sampling_rate=sampling_interval,
             )
         )
-    return header, flows
+    return header, flows, malformed
 
 
 def encode_stream(

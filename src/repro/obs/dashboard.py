@@ -111,6 +111,7 @@ DASHBOARD_HTML = """<!DOCTYPE html>
 <header>
   <h1>repro console</h1>
   <span class="sub" id="meta">connecting&hellip;</span>
+  <span class="sub" id="collector"></span>
 </header>
 <main>
   <div class="tiles">
@@ -177,6 +178,19 @@ async function pollMetrics() {
     fmt(lag, 1) + '<span class="unit"> s</span>';
   document.getElementById("t-windows").textContent =
     fmt(metric(text, "repro_stream_windows_closed_total"));
+  // Collector header line: only rendered once the UDP listener has
+  // heard at least one datagram (file-based runs keep a clean header).
+  const datagrams = metric(text, "repro_collector_datagrams_total");
+  if (datagrams !== null && datagrams > 0) {
+    const dropped =
+      (metric(text, "repro_collector_datagrams_dropped_total") || 0)
+      + (metric(text, "repro_collector_flows_dropped_total") || 0);
+    document.getElementById("collector").textContent =
+      "collector: " + fmt(metric(text, "repro_collector_exporters"))
+      + " exporters \\u00b7 "
+      + fmt(metric(text, "repro_collector_flows_total"))
+      + " flows \\u00b7 " + fmt(dropped) + " dropped";
+  }
 }
 
 function stateCell(state) {
